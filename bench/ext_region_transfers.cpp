@@ -1,0 +1,84 @@
+//===- bench/ext_region_transfers.cpp - Region-transfer extension ---------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Extension ablation (not in the paper): FluidiCL streams *whole* out
+/// buffers to the GPU after every CPU subkernel. For kernels whose flat
+/// work-group ranges write row-contiguous output bands, the RegionTransfers
+/// option sends only each subkernel's band. This harness measures the hd
+/// traffic and total-time effect across the suite - quantifying one of the
+/// paper's implicit costs and an obvious future-work optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "fluidicl/Runtime.h"
+#include "support/Table.h"
+#include "work/Driver.h"
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+struct Measure {
+  double Seconds = 0;
+  uint64_t HdBytes = 0;
+};
+
+Measure run(const Workload &W, bool Regions) {
+  fluidicl::Options Opts;
+  Opts.RegionTransfers = Regions;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx, Opts);
+  Measure M;
+  M.Seconds = runWorkload(RT, W, false).Total.toSeconds();
+  for (const fluidicl::KernelStats &S : RT.kernelStats())
+    M.HdBytes += S.HdBytesSent;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  bench::printHeader("Extension", "region transfers vs whole-buffer hd "
+                                  "streaming (paper default = whole)");
+
+  Table T({"Benchmark", "hd MB (whole)", "hd MB (regions)", "traffic",
+           "time (whole)", "time (regions)", "speedup"});
+  CsvWriter Csv({"benchmark", "hd_bytes_whole", "hd_bytes_regions",
+                 "time_whole_s", "time_regions_s"});
+
+  std::vector<Workload> Loads = extendedSuite();
+  for (const Workload &W : Loads) {
+    Measure Whole = run(W, false);
+    Measure Regions = run(W, true);
+    double TrafficRatio =
+        Whole.HdBytes
+            ? static_cast<double>(Regions.HdBytes) /
+                  static_cast<double>(Whole.HdBytes)
+            : 1.0;
+    T.addRow({W.Name, formatString("%.1f", Whole.HdBytes / 1048576.0),
+              formatString("%.1f", Regions.HdBytes / 1048576.0),
+              formatString("%.0f%%", TrafficRatio * 100.0),
+              formatString("%.4f", Whole.Seconds),
+              formatString("%.4f", Regions.Seconds),
+              formatString("%.2fx", Whole.Seconds / Regions.Seconds)});
+    Csv.addRow({W.Name,
+                formatString("%llu",
+                             static_cast<unsigned long long>(Whole.HdBytes)),
+                formatString(
+                    "%llu", static_cast<unsigned long long>(Regions.HdBytes)),
+                formatString("%.6f", Whole.Seconds),
+                formatString("%.6f", Regions.Seconds)});
+  }
+  T.print();
+  std::printf("\nRow-contiguous kernels (SYRK/SYR2K/GEMM/...) ship a small "
+              "fraction of the paper's whole-buffer traffic; kernels with "
+              "scattered writes (CORR's correlation kernel) fall back to "
+              "whole-buffer streaming automatically.\n");
+  bench::writeCsv(Csv, "ext_region_transfers.csv");
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/fig03_syrk_input_split.cpp - Paper Figure 3 -------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 3: SYRK's best static split moves with the input size - the
+/// smaller input prefers more GPU work (~60/40) while the larger input
+/// prefers more CPU work (~40/60) - so even a hand-tuned static partition
+/// cannot be right for every input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Table.h"
+#include "work/Driver.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace fcl;
+using namespace fcl::work;
+
+int main() {
+  bench::printHeader("Figure 3", "SYRK best split vs input size");
+
+  RunConfig C;
+  std::vector<Workload> Loads = {makeSyrk(1024, 1024), makeSyrk(2048, 2048)};
+  const char *Names[] = {"SYRK(small)", "SYRK(large)"};
+
+  Table T({"GPU work %", "SYRK(small)", "SYRK(large)"});
+  CsvWriter Csv({"gpu_pct", "syrk_small_norm", "syrk_large_norm"});
+
+  std::vector<std::vector<double>> Series(Loads.size());
+  for (size_t L = 0; L < Loads.size(); ++L)
+    for (int Pct = 0; Pct <= 100; Pct += 10)
+      Series[L].push_back(
+          timeStaticPartition(Loads[L], Pct / 100.0, C).toSeconds());
+
+  std::vector<double> Best(Loads.size());
+  for (size_t L = 0; L < Loads.size(); ++L)
+    Best[L] = *std::min_element(Series[L].begin(), Series[L].end());
+
+  for (int I = 0; I <= 10; ++I) {
+    T.addRow({formatString("%d", I * 10),
+              bench::fmtNorm(Series[0][static_cast<size_t>(I)] / Best[0]),
+              bench::fmtNorm(Series[1][static_cast<size_t>(I)] / Best[1])});
+    Csv.addRow({formatString("%d", I * 10),
+                bench::fmtNorm(Series[0][static_cast<size_t>(I)] / Best[0]),
+                bench::fmtNorm(Series[1][static_cast<size_t>(I)] / Best[1])});
+  }
+  T.print();
+
+  for (size_t L = 0; L < Loads.size(); ++L) {
+    size_t BestIdx = static_cast<size_t>(
+        std::min_element(Series[L].begin(), Series[L].end()) -
+        Series[L].begin());
+    std::printf("%s best split: %zu%% GPU\n", Names[L], BestIdx * 10);
+  }
+  std::printf("Paper shape: ~60%% GPU for the small input, ~40%% GPU for "
+              "the large input.\n");
+  bench::writeCsv(Csv, "fig03_syrk_input_split.csv");
+  return 0;
+}

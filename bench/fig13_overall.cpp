@@ -1,0 +1,61 @@
+//===- bench/fig13_overall.cpp - Paper Figure 13 (overall results) --------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The headline figure ("Overall performance of FluidiCL", printed as
+/// Figure 3 in the results section): total running time of every benchmark
+/// under CPU-only, GPU-only, FluidiCL and OracleSP, normalized to the
+/// better single device, plus the geomean speedups the abstract quotes
+/// (1.64x over the GPU, 1.88x over the CPU, within 3% of the best device,
+/// best case 1.4x over the better device).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "work/Driver.h"
+
+#include <algorithm>
+
+using namespace fcl;
+using namespace fcl::work;
+
+int main() {
+  bench::printHeader("Figure 13", "overall performance (normalized to best "
+                                  "single device; lower is better)");
+
+  RunConfig C;
+  Table T({"Benchmark", "CPU", "GPU", "FluidiCL", "OracleSP", "best split"});
+  CsvWriter Csv({"benchmark", "cpu_s", "gpu_s", "fluidicl_s", "oraclesp_s"});
+
+  std::vector<double> VsGpu, VsCpu, VsBest;
+  for (const Workload &W : paperSuite()) {
+    double Cpu = timeUnder(RuntimeKind::CpuOnly, W, C).toSeconds();
+    double Gpu = timeUnder(RuntimeKind::GpuOnly, W, C).toSeconds();
+    double Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    double Frac = 0;
+    double Osp = oracleStaticPartition(W, C, 10, &Frac).toSeconds();
+    double Best = std::min(Cpu, Gpu);
+    T.addRow({W.Name, bench::fmtNorm(Cpu / Best), bench::fmtNorm(Gpu / Best),
+              bench::fmtNorm(Fcl / Best), bench::fmtNorm(Osp / Best),
+              formatString("%.0f%% GPU", Frac * 100)});
+    Csv.addRow({W.Name, formatString("%.6f", Cpu),
+                formatString("%.6f", Gpu), formatString("%.6f", Fcl),
+                formatString("%.6f", Osp)});
+    VsGpu.push_back(Gpu / Fcl);
+    VsCpu.push_back(Cpu / Fcl);
+    VsBest.push_back(Best / Fcl);
+  }
+  T.print();
+
+  std::printf("\nGeomean FluidiCL speedup: %.2fx over GPU-only (paper: "
+              "1.64x), %.2fx over CPU-only (paper: 1.88x),\n"
+              "%.2fx over the better device (paper: 1.24x, never more than "
+              "3%% behind it).\n",
+              geomean(VsGpu), geomean(VsCpu), geomean(VsBest));
+  bench::writeCsv(Csv, "fig13_overall.csv");
+  return 0;
+}

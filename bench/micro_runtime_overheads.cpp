@@ -1,0 +1,110 @@
+//===- bench/micro_runtime_overheads.cpp - Runtime microbenchmarks --------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the runtime substrate itself (an
+/// extension beyond the paper's tables): discrete-event throughput, queue
+/// command overhead, flattened-ID math, slice computation, the functional
+/// merge kernel, and a full cooperative kernel execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "kern/NDRange.h"
+#include "kern/Registry.h"
+#include "mcl/CommandQueue.h"
+#include "sim/Simulator.h"
+#include "work/Driver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fcl;
+
+static void BM_SimulatorEventDispatch(benchmark::State &State) {
+  for (auto _ : State) {
+    sim::Simulator Sim;
+    for (int I = 0; I < 1024; ++I)
+      Sim.scheduleAfter(Duration::nanoseconds(I), [] {});
+    Sim.run();
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+static void BM_FlattenUnflattenRoundTrip(benchmark::State &State) {
+  kern::Dim3 Groups{64, 32, 4};
+  uint64_t Total = Groups.product();
+  uint64_t Sum = 0;
+  for (auto _ : State) {
+    for (uint64_t Flat = 0; Flat < Total; ++Flat) {
+      kern::Dim3 Id = kern::unflattenGroupId(Flat, Groups);
+      Sum += kern::flattenGroupId(Id, Groups);
+    }
+  }
+  benchmark::DoNotOptimize(Sum);
+  State.SetItemsProcessed(State.iterations() * Total);
+}
+BENCHMARK(BM_FlattenUnflattenRoundTrip);
+
+static void BM_SliceComputation(benchmark::State &State) {
+  kern::NDRange Range = kern::NDRange::of2D(2048, 2048, 32, 8);
+  uint64_t Total = Range.totalGroups();
+  for (auto _ : State) {
+    for (uint64_t Lo = 0; Lo + 128 < Total; Lo += 997)
+      benchmark::DoNotOptimize(kern::computeSlice(Range, Lo, Lo + 128));
+  }
+}
+BENCHMARK(BM_SliceComputation);
+
+static void BM_QueueWriteCommands(benchmark::State &State) {
+  for (auto _ : State) {
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+    auto Queue = Ctx.createQueue(Ctx.gpu());
+    auto Buf = Ctx.createBuffer(Ctx.gpu(), 4096);
+    for (int I = 0; I < 256; ++I)
+      Queue->enqueueWrite(*Buf, nullptr, 4096);
+    Queue->finish();
+  }
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+BENCHMARK(BM_QueueWriteCommands);
+
+static void BM_FunctionalMergeKernel(benchmark::State &State) {
+  const uint64_t Bytes = 1 << 20;
+  std::vector<std::byte> Cpu(Bytes, std::byte{1});
+  std::vector<std::byte> Gpu(Bytes, std::byte{0});
+  std::vector<std::byte> Orig(Bytes, std::byte{0});
+  const kern::KernelInfo &Merge =
+      kern::Registry::builtin().get("md_merge_kernel");
+  uint64_t Items = Bytes / kern::MergeChunkBytes;
+  kern::NDRange Range = kern::NDRange::of1D(Items, 64);
+  kern::ArgsView Args(std::vector<kern::ArgValue>{
+      kern::ArgValue::buffer(Cpu.data(), Bytes),
+      kern::ArgValue::buffer(Gpu.data(), Bytes),
+      kern::ArgValue::buffer(Orig.data(), Bytes),
+      kern::ArgValue::scalarInt(static_cast<int64_t>(Bytes)),
+      kern::ArgValue::scalarInt(4)});
+  for (auto _ : State) {
+    kern::Dim3 Groups = Range.numGroups();
+    for (uint64_t Flat = 0; Flat < Range.totalGroups(); ++Flat)
+      kern::executeWorkGroup(Merge, Range,
+                             kern::unflattenGroupId(Flat, Groups), Args, 0,
+                             Range.itemsPerGroup(), nullptr);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations() * Bytes));
+}
+BENCHMARK(BM_FunctionalMergeKernel);
+
+static void BM_CooperativeKernelTimingOnly(benchmark::State &State) {
+  work::Workload W = work::makeSyrk(512, 512);
+  for (auto _ : State) {
+    work::RunConfig C;
+    benchmark::DoNotOptimize(
+        work::timeUnder(work::RuntimeKind::FluidiCL, W, C));
+  }
+}
+BENCHMARK(BM_CooperativeKernelTimingOnly);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+//===- examples/cooperative_syrk.cpp - Cooperative single-kernel demo -----===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's headline scenario: a compute-bound SYRK kernel whose CPU and
+/// GPU speeds are comparable. FluidiCL splits the single kernel across both
+/// devices at work-group granularity and beats either device alone -
+/// without profiling, calibration, or a hand-tuned split. This demo runs
+/// the same workload under CPU-only, GPU-only, a manual 60/40 split, and
+/// FluidiCL, and prints the comparison plus FluidiCL's work distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "work/Driver.h"
+
+#include <cstdio>
+
+using namespace fcl;
+using namespace fcl::work;
+
+int main() {
+  const int64_t N = 1024;
+  Workload W = makeSyrk(N, N);
+  RunConfig C;
+
+  std::printf("SYRK C = alpha*A*A^T + beta*C, %lldx%lld floats, %llu "
+              "work-groups\n\n",
+              static_cast<long long>(N), static_cast<long long>(N),
+              static_cast<unsigned long long>(W.groupCounts()[0]));
+
+  double Cpu = timeUnder(RuntimeKind::CpuOnly, W, C).toSeconds();
+  double Gpu = timeUnder(RuntimeKind::GpuOnly, W, C).toSeconds();
+  double Manual = timeStaticPartition(W, 0.6, C).toSeconds();
+
+  // FluidiCL run, keeping the runtime so we can inspect the distribution.
+  mcl::Context Ctx(C.M, C.Mode);
+  fluidicl::Runtime FluidiCL(Ctx);
+  double Fcl = runWorkload(FluidiCL, W, false).Total.toSeconds();
+
+  Table T({"Configuration", "Time (s)", "vs FluidiCL"});
+  auto Row = [&](const char *Name, double S) {
+    T.addRow({Name, formatString("%.4f", S), formatString("%.2fx", S / Fcl)});
+  };
+  Row("CPU only", Cpu);
+  Row("GPU only", Gpu);
+  Row("manual 60/40 static split", Manual);
+  Row("FluidiCL (dynamic)", Fcl);
+  T.print();
+
+  fluidicl::KernelStats S = FluidiCL.kernelStats().front();
+  double CpuShare = 100.0 * static_cast<double>(S.CpuGroupsExecuted) /
+                    static_cast<double>(S.TotalGroups);
+  std::printf("\nFluidiCL work distribution: CPU computed %.1f%% of the "
+              "work-groups across %llu subkernels; the adaptive chunk grew "
+              "from 2%% to %.0f%%.\n",
+              CpuShare, static_cast<unsigned long long>(S.CpuSubkernels),
+              S.FinalChunkPct);
+  std::printf("No profiling, no calibration, no per-input tuning - the "
+              "split emerges from the data/status race (paper section 4.2).\n");
+  return 0;
+}

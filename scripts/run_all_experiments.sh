@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs every paper table/figure harness plus the extension benches,
+# collecting stdout and the CSV series under results/.
+#
+# Usage: scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+BUILD=${1:-build}
+RESULTS=${2:-results}
+mkdir -p "$RESULTS"
+cd "$RESULTS"
+for b in "../$BUILD"/bench/*; do
+  name=$(basename "$b")
+  if [ "$name" = "micro_runtime_overheads" ]; then
+    "$b" --benchmark_min_time=0.1 | tee "$name.txt"
+  else
+    "$b" | tee "$name.txt"
+  fi
+  echo
+done
+echo "all experiment outputs and CSVs are in $RESULTS/"
+echo "optional: python3 ../scripts/plot_results.py ."

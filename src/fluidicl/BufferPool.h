@@ -1,0 +1,71 @@
+//===- fluidicl/BufferPool.h - Pooled GPU scratch buffers -------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FluidiCL needs two extra GPU buffers per written buffer per kernel (the
+/// "original data" snapshot and the incoming-CPU-data buffer). Creating and
+/// destroying them every kernel is expensive, so section 6.1 keeps a pool:
+/// acquire returns the smallest free pooled buffer that fits (or creates
+/// one), release returns it, and end-of-kernel reclamation frees buffers
+/// that have not been used for a while.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_BUFFERPOOL_H
+#define FCL_FLUIDICL_BUFFERPOOL_H
+
+#include "mcl/Buffer.h"
+#include "mcl/Context.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fcl {
+namespace fluidicl {
+
+/// Size-indexed pool of reusable GPU buffers.
+class BufferPool {
+public:
+  /// \p Enabled false degenerates to create-on-acquire / destroy-on-release
+  /// (the no-pooling ablation).
+  BufferPool(mcl::Context &Ctx, mcl::Device &Dev, bool Enabled);
+
+  /// Returns a buffer with size() >= \p Size. May create a new one
+  /// (charging the driver's buffer-creation overhead).
+  mcl::Buffer *acquire(uint64_t Size);
+
+  /// Returns \p Buf to the pool (or destroys it when pooling is disabled).
+  void release(mcl::Buffer *Buf);
+
+  /// End-of-kernel reclamation: frees pooled buffers not used within the
+  /// last \p MaxIdleKernels kernels and advances the kernel epoch.
+  void endKernelReclaim(uint64_t MaxIdleKernels = 8);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  size_t freeCount() const { return Free.size(); }
+
+private:
+  struct Entry {
+    std::unique_ptr<mcl::Buffer> Buf;
+    uint64_t LastUsedEpoch = 0;
+  };
+
+  mcl::Context &Ctx;
+  mcl::Device &Dev;
+  bool Enabled;
+  uint64_t Epoch = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  std::vector<Entry> Free;
+  std::vector<std::unique_ptr<mcl::Buffer>> InUse;
+};
+
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_BUFFERPOOL_H

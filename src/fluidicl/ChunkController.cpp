@@ -1,0 +1,58 @@
+//===- fluidicl/ChunkController.cpp - Adaptive chunk sizing ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/ChunkController.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+
+ChunkController::ChunkController(uint64_t TotalGroups, int ComputeUnits,
+                                 double InitialPct, double StepPct)
+    : TotalGroups(TotalGroups), ComputeUnits(ComputeUnits), StepPct(StepPct),
+      CurrentPct(InitialPct), Growing(StepPct > 0) {
+  FCL_CHECK(TotalGroups > 0, "empty NDRange");
+  FCL_CHECK(ComputeUnits > 0, "no compute units");
+  FCL_CHECK(InitialPct > 0 && InitialPct <= 100, "chunk percent out of range");
+}
+
+uint64_t ChunkController::nextChunk(uint64_t Remaining) const {
+  if (Remaining == 0)
+    return 0;
+  uint64_t Chunk = static_cast<uint64_t>(
+      std::llround(CurrentPct / 100.0 * static_cast<double>(TotalGroups)));
+  // Keep every compute unit busy (section 5.1): never launch fewer
+  // work-groups than units (work-group splitting handles the final
+  // sub-unit tail separately).
+  Chunk = std::max<uint64_t>(Chunk, static_cast<uint64_t>(ComputeUnits));
+  return std::min(Chunk, Remaining);
+}
+
+void ChunkController::reportSubkernel(uint64_t Groups, Duration Took) {
+  if (Groups == 0)
+    return;
+  double Avg =
+      static_cast<double>(Took.nanos()) / static_cast<double>(Groups);
+  if (BestAvgNanosPerWg < 0) {
+    BestAvgNanosPerWg = Avg;
+    if (Growing)
+      CurrentPct = std::min(100.0, CurrentPct + StepPct);
+    return;
+  }
+  if (!Growing)
+    return;
+  if (Avg < BestAvgNanosPerWg) {
+    BestAvgNanosPerWg = Avg;
+    CurrentPct = std::min(100.0, CurrentPct + StepPct);
+    return;
+  }
+  // Time per work-group stopped improving: hold the chunk size here.
+  Growing = false;
+}

@@ -1,0 +1,57 @@
+//===- fluidicl/ChunkController.h - Adaptive chunk sizing -------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive CPU-subkernel chunk-size heuristic of paper section 5.1:
+/// start at InitialChunkPct of the total work-groups, grow by StepPct as
+/// long as the measured average time per work-group keeps decreasing
+/// (launch overhead amortizes and the CPU OpenCL runtime reaches full
+/// occupancy), stop growing when it stops improving, and never launch
+/// fewer work-groups than there are compute units.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_CHUNKCONTROLLER_H
+#define FCL_FLUIDICL_CHUNKCONTROLLER_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+
+namespace fcl {
+namespace fluidicl {
+
+/// Decides how many work-groups each CPU subkernel receives.
+class ChunkController {
+public:
+  ChunkController(uint64_t TotalGroups, int ComputeUnits, double InitialPct,
+                  double StepPct);
+
+  /// Work-groups for the next subkernel, given \p Remaining unassigned
+  /// work-groups. Returns at least min(Remaining, ComputeUnits) and at
+  /// most Remaining; 0 only when Remaining is 0.
+  uint64_t nextChunk(uint64_t Remaining) const;
+
+  /// Feeds back the measured duration of a completed subkernel; grows the
+  /// chunk while the average time per work-group keeps improving.
+  void reportSubkernel(uint64_t Groups, Duration Took);
+
+  double currentPct() const { return CurrentPct; }
+  bool stillGrowing() const { return Growing; }
+
+private:
+  uint64_t TotalGroups;
+  int ComputeUnits;
+  double StepPct;
+  double CurrentPct;
+  bool Growing;
+  double BestAvgNanosPerWg = -1; // <0 until the first report.
+};
+
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_CHUNKCONTROLLER_H

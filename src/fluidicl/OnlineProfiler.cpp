@@ -1,0 +1,87 @@
+//===- fluidicl/OnlineProfiler.cpp - Kernel-variant selection -------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/OnlineProfiler.h"
+
+#include "kern/Registry.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+
+OnlineProfiler::Profile &
+OnlineProfiler::profileFor(const kern::KernelInfo &Base) {
+  auto It = Profiles.find(Base.Name);
+  if (It != Profiles.end())
+    return It->second;
+
+  Profile P;
+  P.Candidates.push_back(&Base);
+  for (const std::string &Name : Base.Variants) {
+    const kern::KernelInfo &Variant = kern::Registry::builtin().get(Name);
+    // Section 6.6 restriction: variants must be functionally identical
+    // with the same arguments.
+    FCL_CHECK(Variant.Args == Base.Args,
+              "kernel variant has mismatched arguments");
+    P.Candidates.push_back(&Variant);
+  }
+  P.AvgNanosPerWg.assign(P.Candidates.size(), -1.0);
+  if (P.Candidates.size() == 1)
+    P.Winner = &Base; // Nothing to profile.
+  return Profiles.emplace(Base.Name, std::move(P)).first->second;
+}
+
+const kern::KernelInfo *
+OnlineProfiler::pickCpuKernel(const kern::KernelInfo &Base) {
+  Profile &P = profileFor(Base);
+  if (P.Winner)
+    return P.Winner;
+  for (size_t I = 0; I < P.Candidates.size(); ++I)
+    if (P.AvgNanosPerWg[I] < 0)
+      return P.Candidates[I];
+  FCL_UNREACHABLE("all variants measured but no winner fixed");
+}
+
+void OnlineProfiler::reportSubkernel(const kern::KernelInfo &Base,
+                                     const kern::KernelInfo &Used,
+                                     uint64_t Groups, Duration Took) {
+  if (Groups == 0)
+    return;
+  Profile &P = profileFor(Base);
+  if (P.Winner)
+    return;
+  for (size_t I = 0; I < P.Candidates.size(); ++I) {
+    if (P.Candidates[I] != &Used)
+      continue;
+    if (P.AvgNanosPerWg[I] < 0)
+      P.AvgNanosPerWg[I] = static_cast<double>(Took.nanos()) /
+                           static_cast<double>(Groups);
+    break;
+  }
+  // Decide once every candidate has a measurement.
+  if (std::any_of(P.AvgNanosPerWg.begin(), P.AvgNanosPerWg.end(),
+                  [](double V) { return V < 0; }))
+    return;
+  size_t Best = 0;
+  for (size_t I = 1; I < P.AvgNanosPerWg.size(); ++I)
+    if (P.AvgNanosPerWg[I] < P.AvgNanosPerWg[Best])
+      Best = I;
+  P.Winner = P.Candidates[Best];
+}
+
+bool OnlineProfiler::decided(const kern::KernelInfo &Base) const {
+  auto It = Profiles.find(Base.Name);
+  return It != Profiles.end() && It->second.Winner != nullptr;
+}
+
+std::string OnlineProfiler::chosenName(const kern::KernelInfo &Base) const {
+  auto It = Profiles.find(Base.Name);
+  if (It == Profiles.end() || !It->second.Winner)
+    return Base.Name;
+  return It->second.Winner->Name;
+}

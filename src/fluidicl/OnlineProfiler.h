@@ -1,0 +1,65 @@
+//===- fluidicl/OnlineProfiler.h - Kernel-variant selection -----*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online profiling over functionally-identical kernel variants (paper
+/// section 6.6): when the user (or an optimizing compiler) supplies
+/// device-specific versions of a kernel, FluidiCL runs each version for a
+/// small CPU allocation, measures time per work-group, and uses the best
+/// one for the remaining subkernels. The decision is remembered per kernel
+/// name for subsequent launches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_ONLINEPROFILER_H
+#define FCL_FLUIDICL_ONLINEPROFILER_H
+
+#include "kern/Kernel.h"
+#include "support/SimTime.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace fluidicl {
+
+/// Chooses among CPU kernel variants by measuring early subkernels.
+class OnlineProfiler {
+public:
+  /// The CPU variant to use for the next subkernel of \p Base. While
+  /// undecided, cycles through the candidates so each gets one
+  /// measurement; afterwards always returns the winner.
+  const kern::KernelInfo *pickCpuKernel(const kern::KernelInfo &Base);
+
+  /// Feeds back a measured subkernel (\p Used must be a value previously
+  /// returned by pickCpuKernel for \p Base).
+  void reportSubkernel(const kern::KernelInfo &Base,
+                       const kern::KernelInfo &Used, uint64_t Groups,
+                       Duration Took);
+
+  /// True once the winner for \p Base has been fixed.
+  bool decided(const kern::KernelInfo &Base) const;
+
+  /// Name of the chosen variant (or the base kernel) once decided.
+  std::string chosenName(const kern::KernelInfo &Base) const;
+
+private:
+  struct Profile {
+    std::vector<const kern::KernelInfo *> Candidates;
+    std::vector<double> AvgNanosPerWg; // <0 while unmeasured.
+    const kern::KernelInfo *Winner = nullptr;
+  };
+
+  Profile &profileFor(const kern::KernelInfo &Base);
+
+  std::map<std::string, Profile> Profiles;
+};
+
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_ONLINEPROFILER_H

@@ -1,0 +1,210 @@
+//===- fluidicl/OpenCLShim.cpp - OpenCL-style C API shim -------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/OpenCLShim.h"
+
+#include "kern/Registry.h"
+#include "support/Error.h"
+
+#include <cstring>
+#include <vector>
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+using namespace fcl::fluidicl::shim;
+
+namespace fcl {
+namespace fluidicl {
+namespace shim {
+
+struct FclMemRec {
+  FclContextRec *Ctx = nullptr;
+  runtime::BufferId Id = 0;
+  uint64_t Size = 0;
+};
+
+struct FclKernelRec {
+  FclContextRec *Ctx = nullptr;
+  const kern::KernelInfo *Info = nullptr;
+  std::vector<runtime::KArg> Args;
+  std::vector<bool> ArgSet;
+};
+
+struct FclContextRec {
+  Runtime *RT = nullptr;
+  std::vector<std::unique_ptr<FclMemRec>> Mems;
+  std::vector<std::unique_ptr<FclKernelRec>> Kernels;
+};
+
+} // namespace shim
+} // namespace fluidicl
+} // namespace fcl
+
+fcl_context fcl::fluidicl::shim::fclCreateContext(Runtime &RT) {
+  auto *Ctx = new FclContextRec();
+  Ctx->RT = &RT;
+  return Ctx;
+}
+
+void fcl::fluidicl::shim::fclReleaseContext(fcl_context Ctx) { delete Ctx; }
+
+fcl_command_queue fcl::fluidicl::shim::fclCreateCommandQueue(fcl_context Ctx) {
+  return Ctx;
+}
+
+fcl_mem fcl::fluidicl::shim::fclCreateBuffer(fcl_context Ctx,
+                                             fcl_mem_flags /*Flags*/,
+                                             size_t Size, void *HostPtr,
+                                             fcl_int *Err) {
+  if (!Ctx || Size == 0) {
+    if (Err)
+      *Err = FCL_INVALID_VALUE;
+    return nullptr;
+  }
+  auto Mem = std::make_unique<FclMemRec>();
+  Mem->Ctx = Ctx;
+  Mem->Size = Size;
+  Mem->Id = Ctx->RT->createBuffer(Size, "fclbuf");
+  if (HostPtr) // CL_MEM_COPY_HOST_PTR-style initialization.
+    Ctx->RT->writeBuffer(Mem->Id, HostPtr, Size);
+  if (Err)
+    *Err = FCL_SUCCESS;
+  Ctx->Mems.push_back(std::move(Mem));
+  return Ctx->Mems.back().get();
+}
+
+fcl_int fcl::fluidicl::shim::fclEnqueueWriteBuffer(fcl_command_queue Queue,
+                                                   fcl_mem Buf,
+                                                   fcl_bool /*Blocking*/,
+                                                   size_t Offset, size_t Size,
+                                                   const void *Ptr) {
+  if (!Queue || !Buf)
+    return FCL_INVALID_MEM_OBJECT;
+  // The paper's subset writes whole buffers from offset 0.
+  if (Offset != 0 || Offset + Size > Buf->Size)
+    return FCL_INVALID_VALUE;
+  Queue->RT->writeBuffer(Buf->Id, Ptr, Size);
+  return FCL_SUCCESS;
+}
+
+fcl_int fcl::fluidicl::shim::fclEnqueueReadBuffer(fcl_command_queue Queue,
+                                                  fcl_mem Buf,
+                                                  fcl_bool /*Blocking*/,
+                                                  size_t Offset, size_t Size,
+                                                  void *Ptr) {
+  if (!Queue || !Buf)
+    return FCL_INVALID_MEM_OBJECT;
+  if (Offset != 0 || Offset + Size > Buf->Size)
+    return FCL_INVALID_VALUE;
+  Queue->RT->readBuffer(Buf->Id, Ptr, Size);
+  return FCL_SUCCESS;
+}
+
+fcl_kernel fcl::fluidicl::shim::fclCreateKernel(fcl_context Ctx,
+                                                const char *Name,
+                                                fcl_int *Err) {
+  if (!Ctx || !Name) {
+    if (Err)
+      *Err = FCL_INVALID_VALUE;
+    return nullptr;
+  }
+  const kern::KernelInfo *Info = kern::Registry::builtin().find(Name);
+  if (!Info) {
+    if (Err)
+      *Err = FCL_INVALID_KERNEL_NAME;
+    return nullptr;
+  }
+  auto Kernel = std::make_unique<FclKernelRec>();
+  Kernel->Ctx = Ctx;
+  Kernel->Info = Info;
+  Kernel->Args.resize(Info->Args.size());
+  Kernel->ArgSet.assign(Info->Args.size(), false);
+  if (Err)
+    *Err = FCL_SUCCESS;
+  Ctx->Kernels.push_back(std::move(Kernel));
+  return Ctx->Kernels.back().get();
+}
+
+fcl_int fcl::fluidicl::shim::fclSetKernelArg(fcl_kernel Kernel,
+                                             fcl_uint Index, size_t Size,
+                                             const void *Value) {
+  if (!Kernel || !Value)
+    return FCL_INVALID_VALUE;
+  if (Index >= Kernel->Info->Args.size())
+    return FCL_INVALID_VALUE;
+  kern::ArgAccess Access = Kernel->Info->Args[Index];
+  runtime::KArg Arg;
+  if (Access == kern::ArgAccess::Scalar) {
+    // As in OpenCL, scalars arrive as raw bytes; FluidiCL kernels read the
+    // integer or floating interpretation per their declared signature, so
+    // both are populated.
+    if (Size == 4) {
+      int32_t I;
+      float F;
+      std::memcpy(&I, Value, 4);
+      std::memcpy(&F, Value, 4);
+      Arg.IntValue = I;
+      Arg.FpValue = static_cast<double>(F);
+    } else if (Size == 8) {
+      int64_t I;
+      double D;
+      std::memcpy(&I, Value, 8);
+      std::memcpy(&D, Value, 8);
+      Arg.IntValue = I;
+      Arg.FpValue = D;
+    } else {
+      return FCL_INVALID_VALUE;
+    }
+  } else {
+    if (Size != sizeof(fcl_mem))
+      return FCL_INVALID_VALUE;
+    fcl_mem Mem;
+    std::memcpy(&Mem, Value, sizeof(fcl_mem));
+    if (!Mem || Mem->Ctx != Kernel->Ctx)
+      return FCL_INVALID_MEM_OBJECT;
+    Arg = runtime::KArg::buffer(Mem->Id);
+  }
+  Kernel->Args[Index] = Arg;
+  Kernel->ArgSet[Index] = true;
+  return FCL_SUCCESS;
+}
+
+fcl_int fcl::fluidicl::shim::fclEnqueueNDRangeKernel(
+    fcl_command_queue Queue, fcl_kernel Kernel, fcl_uint WorkDim,
+    const size_t *GlobalWorkOffset, const size_t *GlobalWorkSize,
+    const size_t *LocalWorkSize) {
+  if (!Queue || !Kernel)
+    return FCL_INVALID_VALUE;
+  if (WorkDim < 1 || WorkDim > 3)
+    return FCL_INVALID_WORK_DIMENSION;
+  if (GlobalWorkOffset != nullptr)
+    return FCL_INVALID_VALUE; // Paper subset: no global offsets.
+  if (!GlobalWorkSize || !LocalWorkSize)
+    return FCL_INVALID_VALUE;
+  for (size_t I = 0; I < Kernel->ArgSet.size(); ++I)
+    if (!Kernel->ArgSet[I])
+      return FCL_INVALID_KERNEL_ARGS;
+
+  kern::NDRange Range;
+  if (WorkDim == 1)
+    Range = kern::NDRange::of1D(GlobalWorkSize[0], LocalWorkSize[0]);
+  else if (WorkDim == 2)
+    Range = kern::NDRange::of2D(GlobalWorkSize[0], GlobalWorkSize[1],
+                                LocalWorkSize[0], LocalWorkSize[1]);
+  else
+    Range = kern::NDRange::of3D(GlobalWorkSize[0], GlobalWorkSize[1],
+                                GlobalWorkSize[2], LocalWorkSize[0],
+                                LocalWorkSize[1], LocalWorkSize[2]);
+  Queue->RT->launchKernel(Kernel->Info->Name, Range, Kernel->Args);
+  return FCL_SUCCESS;
+}
+
+fcl_int fcl::fluidicl::shim::fclFinish(fcl_command_queue Queue) {
+  if (!Queue)
+    return FCL_INVALID_VALUE;
+  Queue->RT->finish();
+  return FCL_SUCCESS;
+}

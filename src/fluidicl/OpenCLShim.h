@@ -1,0 +1,123 @@
+//===- fluidicl/OpenCLShim.h - OpenCL-style C API shim ----------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's porting story (section 5): "Each API in the OpenCL program
+/// is replaced with the corresponding FluidiCL API, with no change in
+/// arguments. This is done for each application with the help of a simple
+/// find-and-replace script." This header provides that API surface for the
+/// reproduction: fcl* functions mirroring the OpenCL host calls FluidiCL
+/// supports (buffer create/read/write, kernel create/set-arg/launch,
+/// finish), with cl_* style handle and error-code semantics, implemented
+/// on top of fluidicl::Runtime.
+///
+/// A port therefore looks like:
+///   clCreateBuffer(ctx, flags, size, 0, &err) -> fclCreateBuffer(...)
+///   clSetKernelArg(k, 0, sizeof(cl_mem), &buf) -> fclSetKernelArg(...)
+///   clEnqueueNDRangeKernel(q, k, dim, 0, gws, lws, 0, 0, 0)
+///       -> fclEnqueueNDRangeKernel(...)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_OPENCLSHIM_H
+#define FCL_FLUIDICL_OPENCLSHIM_H
+
+#include "fluidicl/Runtime.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace fcl {
+namespace fluidicl {
+namespace shim {
+
+// OpenCL-style scalar typedefs.
+using fcl_int = int32_t;
+using fcl_uint = uint32_t;
+using fcl_mem_flags = uint64_t;
+using fcl_bool = uint32_t;
+
+// Error codes (the OpenCL values for the common cases).
+inline constexpr fcl_int FCL_SUCCESS = 0;
+inline constexpr fcl_int FCL_INVALID_VALUE = -30;
+inline constexpr fcl_int FCL_INVALID_MEM_OBJECT = -38;
+inline constexpr fcl_int FCL_INVALID_KERNEL_NAME = -46;
+inline constexpr fcl_int FCL_INVALID_KERNEL_ARGS = -52;
+inline constexpr fcl_int FCL_INVALID_WORK_DIMENSION = -53;
+
+inline constexpr fcl_bool FCL_TRUE = 1;
+inline constexpr fcl_bool FCL_FALSE = 0;
+
+// Memory flags (accepted and ignored; FluidiCL manages both devices).
+inline constexpr fcl_mem_flags FCL_MEM_READ_WRITE = 1 << 0;
+inline constexpr fcl_mem_flags FCL_MEM_READ_ONLY = 1 << 2;
+inline constexpr fcl_mem_flags FCL_MEM_WRITE_ONLY = 1 << 1;
+
+/// Opaque handles, as in the OpenCL C API.
+struct FclContextRec;
+struct FclMemRec;
+struct FclKernelRec;
+using fcl_context = FclContextRec *;
+using fcl_mem = FclMemRec *;
+using fcl_kernel = FclKernelRec *;
+/// FluidiCL owns a single in-order conceptual queue per context; the
+/// command-queue argument exists only for signature compatibility.
+using fcl_command_queue = fcl_context;
+
+/// Creates a FluidiCL "context" bound to \p RT (which the caller owns and
+/// must keep alive). The analogue of clCreateContext + clBuildProgram:
+/// kernels come from the built-in registry, as compiled programs do from
+/// vendor compilers.
+fcl_context fclCreateContext(Runtime &RT);
+
+/// Releases the context and every object created from it.
+void fclReleaseContext(fcl_context Ctx);
+
+/// clCreateCommandQueue analogue (returns the context; FluidiCL's own hd,
+/// dh and device queues are internal, paper section 5.4).
+fcl_command_queue fclCreateCommandQueue(fcl_context Ctx);
+
+/// clCreateBuffer analogue.
+fcl_mem fclCreateBuffer(fcl_context Ctx, fcl_mem_flags Flags, size_t Size,
+                        void *HostPtr, fcl_int *Err);
+
+/// clEnqueueWriteBuffer analogue (always treated as blocking, like the
+/// paper's supported subset).
+fcl_int fclEnqueueWriteBuffer(fcl_command_queue Queue, fcl_mem Buf,
+                              fcl_bool Blocking, size_t Offset, size_t Size,
+                              const void *Ptr);
+
+/// clEnqueueReadBuffer analogue (blocking).
+fcl_int fclEnqueueReadBuffer(fcl_command_queue Queue, fcl_mem Buf,
+                             fcl_bool Blocking, size_t Offset, size_t Size,
+                             void *Ptr);
+
+/// clCreateKernel analogue: looks \p Name up in the kernel registry.
+fcl_kernel fclCreateKernel(fcl_context Ctx, const char *Name, fcl_int *Err);
+
+/// clSetKernelArg analogue. Buffer arguments are passed as
+/// (sizeof(fcl_mem), &mem); scalars by value with their size (4 -> int or
+/// float chosen by the kernel's declared argument kind, 8 -> int64/double).
+fcl_int fclSetKernelArg(fcl_kernel Kernel, fcl_uint Index, size_t Size,
+                        const void *Value);
+
+/// clEnqueueNDRangeKernel analogue (blocking, like the paper's
+/// implementation; only null global offsets are supported).
+fcl_int fclEnqueueNDRangeKernel(fcl_command_queue Queue, fcl_kernel Kernel,
+                                fcl_uint WorkDim,
+                                const size_t *GlobalWorkOffset,
+                                const size_t *GlobalWorkSize,
+                                const size_t *LocalWorkSize);
+
+/// clFinish analogue.
+fcl_int fclFinish(fcl_command_queue Queue);
+
+} // namespace shim
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_OPENCLSHIM_H

@@ -1,0 +1,154 @@
+//===- fluidicl/Runtime.cpp - The FluidiCL runtime -------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+
+#include "fluidicl/KernelExec.h"
+#include "kern/Registry.h"
+#include "support/Error.h"
+#include "support/Log.h"
+
+#include <cstring>
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+
+Runtime::Runtime(mcl::Context &Ctx, Options Opts)
+    : HeteroRuntime(Ctx), Opts(Opts),
+      GpuAppQueue(Ctx.createQueue(Ctx.gpu(), "fcl-gpu-app")),
+      CpuQueue(Ctx.createQueue(Ctx.cpu(), "fcl-cpu")),
+      HdQueue(Ctx.createQueue(Ctx.gpu(), "fcl-hd")),
+      DhQueue(Ctx.createQueue(Ctx.gpu(), "fcl-dh")),
+      StatusBuf(Ctx.createBuffer(Ctx.gpu(), 64, "fcl-status")),
+      Pool(Ctx, Ctx.gpu(), Opts.BufferPool) {}
+
+Runtime::~Runtime() { finish(); }
+
+Runtime::DualBuffer &Runtime::buf(runtime::BufferId Id) {
+  FCL_CHECK(Id < Buffers.size(), "invalid buffer id");
+  return *Buffers[Id];
+}
+
+runtime::BufferId Runtime::createBuffer(uint64_t Size,
+                                        std::string DebugName) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  auto B = std::make_unique<DualBuffer>();
+  B->Size = Size;
+  B->Name = DebugName;
+  // Section 4.1: buffers are created for both the CPU and the GPU.
+  B->CpuBuf = Ctx.createBuffer(Ctx.cpu(), Size, DebugName + ".cpu");
+  B->GpuBuf = Ctx.createBuffer(Ctx.gpu(), Size, DebugName + ".gpu");
+  Buffers.push_back(std::move(B));
+  uint32_t VIdx = Versions.addBuffer();
+  FCL_CHECK(VIdx == Buffers.size() - 1, "version index out of sync");
+  return static_cast<runtime::BufferId>(VIdx);
+}
+
+void Runtime::writeBuffer(runtime::BufferId Id, const void *Src,
+                          uint64_t Bytes) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  DualBuffer &B = buf(Id);
+  FCL_CHECK(Bytes <= B.Size, "write overruns buffer");
+  // Section 4.1: one clEnqueueWriteBuffer becomes two, one per device.
+  GpuAppQueue->enqueueWrite(*B.GpuBuf, Src, Bytes);
+  B.CpuLanding = CpuQueue->enqueueWrite(*B.CpuBuf, Src, Bytes);
+  Versions.noteHostWrite(Id, NextKernelId);
+}
+
+void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  DualBuffer &B = buf(Id);
+  FCL_CHECK(Bytes <= B.Size, "read overruns buffer");
+  // Section 6.2: serve the read from the CPU when its copy is current -
+  // either the DH stage already brought the data back or the CPU executed
+  // all work-groups.
+  if (Opts.DataLocationTracking && Versions.cpuCurrent(Id)) {
+    // Wait only for the command that lands this buffer's CPU data (host
+    // write or DH transfer) - never for unrelated trailing subkernels.
+    if (B.CpuLanding && !B.CpuLanding->isComplete())
+      B.CpuLanding->wait();
+    Ctx.hostAdvance(Ctx.machine().Host.memcpyTime(Bytes));
+    if (Dst && B.CpuBuf->backed())
+      std::memcpy(Dst, B.CpuBuf->data(), Bytes);
+    return;
+  }
+  // Otherwise read from the GPU, which always holds the most recent
+  // version once the app-queue merges drain (in-order queue).
+  GpuAppQueue->enqueueRead(*B.GpuBuf, Dst, Bytes, 0, /*Blocking=*/true);
+}
+
+void Runtime::launchKernel(const std::string &KernelName,
+                           const kern::NDRange &Range,
+                           const std::vector<runtime::KArg> &Args) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  const kern::KernelInfo &Kernel = kern::Registry::builtin().get(KernelName);
+  FCL_CHECK(Kernel.Args.size() == Args.size(), "argument arity mismatch");
+  auto Exec = std::make_shared<KernelExec>(*this, Kernel, Range, Args);
+  Execs.push_back(Exec);
+  Exec->run();
+}
+
+void Runtime::finish() {
+  // Drain until every queue is idle and every DH transfer has landed.
+  // Queues can feed each other (subkernel completion enqueues hd writes),
+  // so iterate to a fixed point.
+  for (int Round = 0; Round < 64; ++Round) {
+    GpuAppQueue->finish();
+    CpuQueue->finish();
+    HdQueue->finish();
+    DhQueue->finish();
+    bool DhPending = false;
+    for (const mcl::EventPtr &E : PendingDh)
+      if (!E->isComplete())
+        DhPending = true;
+    if (!DhPending && GpuAppQueue->idle() && CpuQueue->idle() &&
+        HdQueue->idle() && DhQueue->idle())
+      break;
+  }
+  std::erase_if(PendingDh,
+                [](const mcl::EventPtr &E) { return E->isComplete(); });
+  FCL_CHECK(PendingDh.empty(), "DH transfers failed to drain");
+}
+
+std::vector<KernelStats> Runtime::kernelStats() const {
+  std::vector<KernelStats> Out;
+  Out.reserve(Execs.size());
+  for (const auto &E : Execs)
+    Out.push_back(E->stats());
+  return Out;
+}
+
+void Runtime::whenCpuVersions(
+    std::vector<std::pair<uint32_t, uint64_t>> Needs,
+    std::function<void()> Fn) {
+  bool Satisfied = true;
+  for (const auto &[Buf, Ver] : Needs)
+    if (Versions.cpuVersion(Buf) < Ver)
+      Satisfied = false;
+  if (Satisfied) {
+    Fn();
+    return;
+  }
+  // Retry when the next outstanding DH transfer lands. Subscribing to one
+  // pending event at a time is enough: every noteCpuReceived happens in a
+  // DH completion (or makes the condition true synchronously).
+  for (const mcl::EventPtr &E : PendingDh) {
+    if (E->isComplete())
+      continue;
+    E->onComplete(
+        [this, Needs = std::move(Needs), Fn = std::move(Fn)]() mutable {
+          whenCpuVersions(std::move(Needs), std::move(Fn));
+        });
+    return;
+  }
+  FCL_FATAL("CPU copy is stale but no DH transfer is outstanding");
+}
+
+void Runtime::trackDh(mcl::EventPtr E) {
+  std::erase_if(PendingDh,
+                [](const mcl::EventPtr &P) { return P->isComplete(); });
+  PendingDh.push_back(std::move(E));
+}

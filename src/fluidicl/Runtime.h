@@ -1,0 +1,139 @@
+//===- fluidicl/Runtime.h - The FluidiCL runtime ----------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FluidiCL runtime (the paper's contribution): takes the single-device
+/// OpenCL program (the HeteroRuntime API) and executes every kernel
+/// cooperatively on the CPU and the GPU.
+///
+/// Per paper section 4/5:
+///  * createBuffer/writeBuffer fan out to both devices (section 4.1).
+///  * Each kernel launch enqueues the full NDRange on the GPU (work-groups
+///    ascending from 0) and a stream of CPU subkernels working down from
+///    the highest flattened work-group ID (section 4.2).
+///  * After each subkernel, the CPU's out/inout data and then an execution-
+///    status message travel to the GPU on the in-order "hd" queue, so a
+///    work-group only counts as CPU-complete when its data has arrived.
+///  * GPU work-groups abort when covered by the CPU status (sections 4.2,
+///    6.4, 6.5); when the GPU kernel exits, per-buffer diff/merge kernels
+///    combine the CPU and GPU results on the GPU (section 4.3).
+///  * A device-to-host stage returns merged out buffers to the CPU
+///    asynchronously (sections 4.4, 5.6), tracked by buffer versions
+///    (section 5.3) and data-location information (section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_RUNTIME_H
+#define FCL_FLUIDICL_RUNTIME_H
+
+#include "fluidicl/BufferPool.h"
+#include "fluidicl/OnlineProfiler.h"
+#include "fluidicl/Options.h"
+#include "fluidicl/VersionTracker.h"
+#include "mcl/CommandQueue.h"
+#include "runtime/HeteroRuntime.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace fluidicl {
+
+class KernelExec;
+
+/// Summary of one cooperative kernel execution (for experiments/tests).
+struct KernelStats {
+  std::string KernelName;
+  std::string CpuKernelUsed;
+  uint64_t KernelId = 0;
+  uint64_t TotalGroups = 0;
+  /// Work-groups the CPU scheduler completed (may overlap the GPU's near
+  /// the meeting point).
+  uint64_t CpuGroupsExecuted = 0;
+  /// Work-groups the GPU actually executed (aborted ones excluded).
+  uint64_t GpuGroupsExecuted = 0;
+  uint64_t CpuSubkernels = 0;
+  double FinalChunkPct = 0;
+  bool CpuRanEverything = false;
+  /// Kernel used atomics, so the CPU side was skipped (paper section 7).
+  bool AtomicsFallback = false;
+  /// Bytes of CPU-computed data streamed to the GPU on the hd queue
+  /// (excluding status words); the RegionTransfers extension shrinks this.
+  uint64_t HdBytesSent = 0;
+  /// Application-observed duration of the blocking kernel call.
+  Duration KernelTime;
+};
+
+/// The FluidiCL runtime.
+class Runtime final : public runtime::HeteroRuntime {
+public:
+  explicit Runtime(mcl::Context &Ctx, Options Opts = Options());
+  ~Runtime() override;
+
+  std::string name() const override { return "FluidiCL"; }
+  runtime::BufferId createBuffer(uint64_t Size,
+                                 std::string DebugName) override;
+  void writeBuffer(runtime::BufferId Id, const void *Src,
+                   uint64_t Bytes) override;
+  void readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) override;
+  void launchKernel(const std::string &KernelName, const kern::NDRange &Range,
+                    const std::vector<runtime::KArg> &Args) override;
+  void finish() override;
+
+  const Options &options() const { return Opts; }
+
+  /// Per-kernel execution summaries, in launch order. Call finish() first
+  /// for final numbers.
+  std::vector<KernelStats> kernelStats() const;
+
+private:
+  friend class KernelExec;
+
+  /// One application buffer, duplicated on both devices (section 4.1).
+  struct DualBuffer {
+    uint64_t Size = 0;
+    std::string Name;
+    std::unique_ptr<mcl::Buffer> CpuBuf;
+    std::unique_ptr<mcl::Buffer> GpuBuf;
+    /// Last command that lands data in CpuBuf (host write or DH read);
+    /// readBuffer waits on it instead of draining whole queues, so a
+    /// trailing CPU subkernel never delays the application's result read.
+    mcl::EventPtr CpuLanding;
+  };
+
+  DualBuffer &buf(runtime::BufferId Id);
+
+  /// Runs \p Fn once the CPU copy of every (buffer, version) pair has
+  /// received at least that version, retrying as pending device-to-host
+  /// transfers land (section 5.3 gate). Versions are captured before the
+  /// launching kernel bumps its out buffers, so a kernel's own writes do
+  /// not gate its own CPU subkernels.
+  void whenCpuVersions(std::vector<std::pair<uint32_t, uint64_t>> Needs,
+                       std::function<void()> Fn);
+
+  /// Registers an outstanding DH transfer event.
+  void trackDh(mcl::EventPtr E);
+
+  Options Opts;
+  std::unique_ptr<mcl::CommandQueue> GpuAppQueue; // Kernels, merges, writes.
+  std::unique_ptr<mcl::CommandQueue> CpuQueue;    // CPU subkernels, writes.
+  std::unique_ptr<mcl::CommandQueue> HdQueue;     // CPU data + status to GPU.
+  std::unique_ptr<mcl::CommandQueue> DhQueue;     // Merged results to host.
+  std::unique_ptr<mcl::Buffer> StatusBuf;         // GPU status word.
+  std::vector<std::unique_ptr<DualBuffer>> Buffers;
+  VersionTracker Versions;
+  BufferPool Pool;
+  OnlineProfiler Profiler;
+  uint64_t NextKernelId = 0;
+  std::vector<mcl::EventPtr> PendingDh;
+  std::vector<std::shared_ptr<KernelExec>> Execs;
+};
+
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_RUNTIME_H

@@ -1,0 +1,58 @@
+//===- fluidicl/VersionTracker.cpp - Buffer version tracking --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/VersionTracker.h"
+
+#include "support/Error.h"
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+
+uint32_t VersionTracker::addBuffer() {
+  States.push_back(State());
+  return static_cast<uint32_t>(States.size() - 1);
+}
+
+void VersionTracker::noteHostWrite(uint32_t Buf, uint64_t KernelId) {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  States[Buf].Expected = KernelId;
+  States[Buf].CpuReceived = KernelId;
+}
+
+void VersionTracker::noteKernelWillWrite(uint32_t Buf, uint64_t KernelId) {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  FCL_CHECK(KernelId > States[Buf].Expected, "kernel IDs must increase");
+  States[Buf].Expected = KernelId;
+}
+
+void VersionTracker::noteCpuReceived(uint32_t Buf, uint64_t KernelId) {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  // Discard stale arrivals (section 5.3: late messages are ignored).
+  if (KernelId > States[Buf].CpuReceived)
+    States[Buf].CpuReceived = KernelId;
+}
+
+bool VersionTracker::cpuCurrent(uint32_t Buf) const {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  return States[Buf].CpuReceived >= States[Buf].Expected;
+}
+
+bool VersionTracker::cpuCurrentAll(const std::vector<uint32_t> &Bufs) const {
+  for (uint32_t B : Bufs)
+    if (!cpuCurrent(B))
+      return false;
+  return true;
+}
+
+uint64_t VersionTracker::expectedVersion(uint32_t Buf) const {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  return States[Buf].Expected;
+}
+
+uint64_t VersionTracker::cpuVersion(uint32_t Buf) const {
+  FCL_CHECK(Buf < States.size(), "unknown buffer");
+  return States[Buf].CpuReceived;
+}

@@ -1,0 +1,70 @@
+//===- fluidicl/VersionTracker.h - Buffer version tracking ------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Buffer version tracking of paper section 5.3: every kernel execution
+/// gets a kernel ID; out/inout buffers written by kernel K have *expected*
+/// version K, and the CPU-side copy records the *received* version as data
+/// arrives (device-to-host transfers, or the CPU executing the whole
+/// NDRange). CPU subkernels may only start once every input buffer's
+/// received version matches its expected version; the GPU always holds the
+/// most recent version and proceeds immediately. Stale (older-version)
+/// arrivals are discarded. Section 6.2's data-location tracking lives here
+/// too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_FLUIDICL_VERSIONTRACKER_H
+#define FCL_FLUIDICL_VERSIONTRACKER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fcl {
+namespace fluidicl {
+
+/// Per-buffer version and location bookkeeping.
+class VersionTracker {
+public:
+  /// Registers a new buffer; returns its index (== registration order).
+  uint32_t addBuffer();
+
+  /// Host program wrote the buffer: both device copies become current once
+  /// the (fan-out) writes land; versions advance to \p KernelId.
+  void noteHostWrite(uint32_t Buf, uint64_t KernelId);
+
+  /// Kernel \p KernelId is about to write \p Buf: expected version becomes
+  /// \p KernelId (the CPU copy is stale until data arrives).
+  void noteKernelWillWrite(uint32_t Buf, uint64_t KernelId);
+
+  /// Data of version \p KernelId arrived at the CPU (DH transfer landed or
+  /// the CPU executed the entire NDRange). Older versions than the current
+  /// received version are discarded.
+  void noteCpuReceived(uint32_t Buf, uint64_t KernelId);
+
+  /// True when the CPU copy matches the expected (most recent) version.
+  bool cpuCurrent(uint32_t Buf) const;
+
+  /// True when every buffer in \p Bufs is CPU-current (the section 5.3
+  /// gate for launching CPU subkernels).
+  bool cpuCurrentAll(const std::vector<uint32_t> &Bufs) const;
+
+  uint64_t expectedVersion(uint32_t Buf) const;
+  uint64_t cpuVersion(uint32_t Buf) const;
+
+private:
+  struct State {
+    uint64_t Expected = 0;
+    uint64_t CpuReceived = 0;
+  };
+
+  std::vector<State> States;
+};
+
+} // namespace fluidicl
+} // namespace fcl
+
+#endif // FCL_FLUIDICL_VERSIONTRACKER_H

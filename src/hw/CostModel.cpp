@@ -1,0 +1,107 @@
+//===- hw/CostModel.cpp - Analytic kernel cost model ----------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CostModel.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace fcl;
+using namespace fcl::hw;
+
+double fcl::hw::abortChecksPerItem(const WorkItemCost &Cost,
+                                   const AbortConfig &Config) {
+  switch (Config.Kind) {
+  case AbortPolicyKind::None:
+    return 0;
+  case AbortPolicyKind::AtStart:
+    return 1;
+  case AbortPolicyKind::InLoop: {
+    double Trips = std::max(1.0, Cost.LoopTripCount);
+    double Factor = Config.Unroll ? std::max(1, Config.UnrollFactor) : 1;
+    return 1 + Trips / Factor;
+  }
+  }
+  FCL_UNREACHABLE("covered switch");
+}
+
+double fcl::hw::gpuEffectiveFlopsPerItem(const GpuModel &Gpu,
+                                         const WorkItemCost &Cost,
+                                         const AbortConfig &Config) {
+  double Flops = Cost.Flops;
+  if (Config.Kind == AbortPolicyKind::InLoop) {
+    // Losing compiler unrolling inflates the arithmetic cost of short loop
+    // bodies (section 6.5 / Fig. "NoUnroll").
+    if (!Config.Unroll)
+      Flops *= std::max(1.0, Cost.NoUnrollPenalty);
+    // In-loop checks cost a fraction of one iteration's work per check;
+    // manual unrolling amortizes one check over UnrollFactor iterations.
+    double Factor = Config.Unroll ? std::max(1, Config.UnrollFactor) : 1.0;
+    Flops *= 1.0 + Gpu.InLoopCheckRelCost / Factor;
+  }
+  if (Config.Kind != AbortPolicyKind::None) {
+    // The work-group-start check (paper Figure 8), one per work-item.
+    Flops += Gpu.AbortCheckCycles * Gpu.FlopsPerLanePerCycle;
+  }
+  return Flops;
+}
+
+Duration fcl::hw::gpuWaveTime(const Machine &M, const WorkItemCost &Cost,
+                              const AbortConfig &Config, uint64_t Items) {
+  if (Items == 0)
+    return Duration::zero();
+  double N = static_cast<double>(Items);
+  double Eff = Cost.GpuEfficiency;
+  // The cache-behaviour bonus belongs to the fully transformed kernel
+  // (in-loop checks + manual unrolling); the NoAbortUnroll/NoUnroll
+  // ablations run differently-shaped code and do not get it.
+  if (Config.Kind == AbortPolicyKind::InLoop && Config.Unroll)
+    Eff *= Cost.GpuModifiedKernelBonus;
+  double ComputeSeconds = N * gpuEffectiveFlopsPerItem(M.Gpu, Cost, Config) /
+                          (M.Gpu.peakFlops() * std::max(1e-6, Eff));
+  double Bytes = N * (Cost.BytesRead + Cost.BytesWritten);
+  double MemSeconds =
+      Bytes / (M.Gpu.MemBandwidth * std::max(1e-6, Cost.GpuCoalescing));
+  return Duration::seconds(std::max(ComputeSeconds, MemSeconds) *
+                           M.GpuLoadFactor);
+}
+
+int fcl::hw::gpuWaveCheckpoints(const WorkItemCost &Cost,
+                                const AbortConfig &Config) {
+  if (Config.Kind != AbortPolicyKind::InLoop)
+    return 1;
+  double Trips = std::max(1.0, Cost.LoopTripCount);
+  double Factor = Config.Unroll ? std::max(1, Config.UnrollFactor) : 1;
+  double Checks = Trips / Factor;
+  // Cap the event count per wave; beyond ~32 checkpoints the additional
+  // abort resolution is below other overheads.
+  return static_cast<int>(std::clamp(Checks, 1.0, 32.0));
+}
+
+Duration fcl::hw::cpuWorkGroupTime(const Machine &M, const WorkItemCost &Cost,
+                                   uint64_t Items) {
+  if (Items == 0)
+    return Duration::zero();
+  double N = static_cast<double>(Items);
+  double FlopRate = M.Cpu.ClockGhz * 1e9 * M.Cpu.FlopsPerUnitPerCycle *
+                    std::max(1e-6, Cost.CpuFlopEfficiency);
+  double ComputeSeconds = N * Cost.Flops / FlopRate;
+  // Memory bandwidth is shared; assume worst-case full contention so the
+  // model is independent of instantaneous occupancy (keeps it composable).
+  double BwShare = M.Cpu.MemBandwidth * std::max(1e-6, Cost.CpuMemEfficiency) /
+                   M.Cpu.ComputeUnits;
+  double MemSeconds = N * (Cost.BytesRead + Cost.BytesWritten) / BwShare;
+  return Duration::seconds(std::max(ComputeSeconds, MemSeconds) *
+                           M.CpuLoadFactor);
+}
+
+Duration fcl::hw::gpuMergeTime(const Machine &M, uint64_t Bytes) {
+  double Traffic = 3.0 * static_cast<double>(Bytes);
+  return M.Gpu.KernelLaunchOverhead +
+         Duration::seconds(Traffic / M.Gpu.MemBandwidth * M.GpuLoadFactor);
+}

@@ -1,0 +1,107 @@
+//===- hw/CostModel.h - Analytic kernel cost model --------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Roofline-style analytic timing for kernels on the simulated devices.
+/// Each kernel describes its per-work-item arithmetic and memory traffic
+/// plus device-efficiency factors (coalescing on the GPU, scalarization on
+/// the CPU); the cost model turns that into wave times (GPU) and per-work-
+/// group times (CPU), including the overhead of FluidiCL's abort checks and
+/// the penalty of losing loop unrolling (paper sections 6.4/6.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_HW_COSTMODEL_H
+#define FCL_HW_COSTMODEL_H
+
+#include "hw/Machine.h"
+#include "support/SimTime.h"
+
+#include <cstdint>
+
+namespace fcl {
+namespace hw {
+
+/// Per-work-item execution characteristics of a kernel. The values may
+/// depend on kernel arguments (e.g. the dot-product length), so kernels
+/// produce a WorkItemCost per launch.
+struct WorkItemCost {
+  /// Arithmetic operations per work-item.
+  double Flops = 0;
+  /// Global-memory bytes read per work-item.
+  double BytesRead = 0;
+  /// Global-memory bytes written per work-item.
+  double BytesWritten = 0;
+  /// Fraction of GPU memory bandwidth achieved (coalescing quality).
+  double GpuCoalescing = 1.0;
+  /// GPU ALU utilization (divergence, ILP limits).
+  double GpuEfficiency = 1.0;
+  /// CPU arithmetic efficiency relative to the CpuModel scalar rate.
+  double CpuFlopEfficiency = 1.0;
+  /// Fraction of CPU memory bandwidth achieved (cache friendliness).
+  double CpuMemEfficiency = 1.0;
+  /// Innermost-loop trip count per work-item; bounds how often in-loop
+  /// abort checks execute and where a wave can terminate early.
+  double LoopTripCount = 1;
+  /// Arithmetic multiplier applied on the GPU when in-loop abort checks
+  /// suppress compiler loop unrolling (paper section 6.5).
+  double NoUnrollPenalty = 1.0;
+  /// GPU efficiency multiplier for the FluidiCL-transformed kernel (the
+  /// paper observes improved GPU cache behaviour for modified SYRK code,
+  /// making its speedup exceed the raw rate split - section 9.1).
+  double GpuModifiedKernelBonus = 1.0;
+};
+
+/// Where the FluidiCL-transformed GPU kernel checks the CPU status word.
+enum class AbortPolicyKind {
+  /// Unmodified kernel: never aborts (single-device baselines).
+  None,
+  /// Check only at work-group start (paper's NoAbortUnroll configuration).
+  AtStart,
+  /// Checks at work-group start and inside innermost loops (section 6.4).
+  InLoop,
+};
+
+/// Abort-check configuration for a GPU kernel launch.
+struct AbortConfig {
+  AbortPolicyKind Kind = AbortPolicyKind::None;
+  /// Whether manual loop unrolling is applied after in-loop checks
+  /// (section 6.5). Ignored unless Kind == InLoop.
+  bool Unroll = true;
+  /// Iterations fused per abort check when unrolling.
+  int UnrollFactor = 8;
+};
+
+/// Number of abort checks one work-item executes under \p Config.
+double abortChecksPerItem(const WorkItemCost &Cost, const AbortConfig &Config);
+
+/// Effective per-item GPU arithmetic including abort-check overhead and the
+/// no-unroll penalty, in FLOP-equivalents.
+double gpuEffectiveFlopsPerItem(const GpuModel &Gpu, const WorkItemCost &Cost,
+                                const AbortConfig &Config);
+
+/// Time for the GPU to execute \p Items work-items at full wave occupancy.
+Duration gpuWaveTime(const Machine &M, const WorkItemCost &Cost,
+                     const AbortConfig &Config, uint64_t Items);
+
+/// Number of early-termination checkpoints inside one in-flight GPU wave.
+/// 1 means a started wave always runs to completion (no in-loop aborts).
+int gpuWaveCheckpoints(const WorkItemCost &Cost, const AbortConfig &Config);
+
+/// Time for one CPU compute unit to execute one work-group of \p Items
+/// work-items (memory bandwidth shared across all compute units).
+Duration cpuWorkGroupTime(const Machine &M, const WorkItemCost &Cost,
+                          uint64_t Items);
+
+/// Time for the GPU to diff+merge \p Bytes of CPU-computed data against the
+/// original buffer (paper section 4.3): reads cpu_buf and orig, worst-case
+/// writes gpu_buf, fully coalesced.
+Duration gpuMergeTime(const Machine &M, uint64_t Bytes);
+
+} // namespace hw
+} // namespace fcl
+
+#endif // FCL_HW_COSTMODEL_H

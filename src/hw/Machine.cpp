@@ -1,0 +1,67 @@
+//===- hw/Machine.cpp - Simulated hardware parameter descriptors ---------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Machine.h"
+
+using namespace fcl;
+using namespace fcl::hw;
+
+Duration PcieModel::transferTime(uint64_t Bytes) const {
+  return Latency + Duration::seconds(static_cast<double>(Bytes) / Bandwidth);
+}
+
+Duration HostModel::memcpyTime(uint64_t Bytes) const {
+  return Duration::seconds(static_cast<double>(Bytes) / MemcpyBandwidth);
+}
+
+Duration HostModel::bufferCreateTime(uint64_t Bytes) const {
+  return BufferCreateOverhead +
+         Duration::seconds(static_cast<double>(Bytes) /
+                           BufferCreateBandwidth);
+}
+
+Machine fcl::hw::paperMachine() {
+  // The struct defaults are the calibrated values; this function exists so
+  // call sites read as intent ("the paper's machine") and so alternative
+  // machines can be constructed by mutating the returned value.
+  return Machine();
+}
+
+Machine fcl::hw::laptopMachine() {
+  Machine M;
+  // Integrated-GPU-class device: few SMs, modest clock, shares the memory
+  // system (no discrete VRAM bandwidth advantage).
+  M.Gpu.NumSms = 4;
+  M.Gpu.LanesPerSm = 32;
+  M.Gpu.ClockGhz = 0.9;
+  M.Gpu.MemBandwidth = 34e9;
+  M.Gpu.ResidentWgPerSm = 6;
+  // On-die link instead of PCIe: cheap and low latency.
+  M.Pcie.Bandwidth = 16e9;
+  M.Pcie.Latency = Duration::microseconds(3);
+  // Mobile CPU: fewer threads, lower clock, less bandwidth, but a leaner
+  // OpenCL runtime (smaller launch overhead).
+  M.Cpu.ComputeUnits = 4;
+  M.Cpu.ClockGhz = 2.4;
+  M.Cpu.MemBandwidth = 10e9;
+  M.Cpu.KernelLaunchOverhead = Duration::microseconds(30);
+  M.Host.MemcpyBandwidth = 7e9;
+  return M;
+}
+
+Machine fcl::hw::machineWithPhi() {
+  Machine M; // Same GPU and PCIe as the paper machine.
+  M.Cpu.ComputeUnits = 60;
+  M.Cpu.ClockGhz = 1.05;
+  // Wide SIMD per core, but scalarized OpenCL work-item loops leave most
+  // of it idle, as on the CPU runtime.
+  M.Cpu.FlopsPerUnitPerCycle = 0.9;
+  M.Cpu.MemBandwidth = 160e9;
+  M.Cpu.KernelLaunchOverhead = Duration::microseconds(150);
+  M.Cpu.WgDispatchOverhead = Duration::microseconds(1);
+  M.Cpu.BehindPcie = true;
+  return M;
+}

@@ -1,0 +1,146 @@
+//===- hw/Machine.h - Simulated hardware parameter descriptors -*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameter descriptors for the simulated heterogeneous node: a discrete
+/// GPU (Tesla C2070-like), a multicore CPU (Xeon W3550-like, as seen through
+/// a CPU OpenCL runtime), the PCIe link between them, and host-side software
+/// overheads. The defaults are calibrated so the six Polybench workloads
+/// reproduce the device-affinity pattern of the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_HW_MACHINE_H
+#define FCL_HW_MACHINE_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+
+namespace fcl {
+namespace hw {
+
+/// Discrete GPU execution parameters (wave-scheduled SM model).
+struct GpuModel {
+  /// Number of streaming multiprocessors.
+  int NumSms = 14;
+  /// Scalar lanes per SM.
+  int LanesPerSm = 32;
+  /// Core clock in GHz.
+  double ClockGhz = 1.15;
+  /// FLOPs retired per lane per cycle at full utilization (FMA = 2).
+  double FlopsPerLanePerCycle = 2.0;
+  /// Effective device-memory bandwidth in bytes/second.
+  double MemBandwidth = 120e9;
+  /// Resident work-groups per SM; NumSms * ResidentWgPerSm work-groups
+  /// execute concurrently as one "wave".
+  int ResidentWgPerSm = 8;
+  /// Fixed cost to launch a kernel (driver + dispatch).
+  Duration KernelLaunchOverhead = Duration::microseconds(8);
+  /// Cost of one device-side abort-status check per work-item, in cycles
+  /// (the work-group-start check).
+  double AbortCheckCycles = 12.0;
+  /// Relative arithmetic cost of one in-loop abort check, as a fraction of
+  /// one loop iteration's work; divided by the unroll factor when manual
+  /// unrolling is applied (sections 6.4/6.5).
+  double InLoopCheckRelCost = 0.25;
+
+  /// Peak arithmetic throughput in FLOP/s.
+  double peakFlops() const {
+    return static_cast<double>(NumSms) * LanesPerSm * FlopsPerLanePerCycle *
+           ClockGhz * 1e9;
+  }
+  /// Work-groups executing concurrently in one wave.
+  int waveWidth() const { return NumSms * ResidentWgPerSm; }
+};
+
+/// Multicore CPU as exposed by a CPU OpenCL runtime (one work-group runs as
+/// a single thread with work-items executed in a loop, as the AMD APP CPU
+/// runtime does - see paper section 6.3).
+struct CpuModel {
+  /// Hardware threads available as OpenCL compute units.
+  int ComputeUnits = 8;
+  /// Clock in GHz.
+  double ClockGhz = 3.06;
+  /// Effective FLOPs per compute unit per cycle for scalarized OpenCL
+  /// work-item loops (well below SIMD peak; CPU OpenCL runtimes of the era
+  /// rarely vectorized across work-items).
+  double FlopsPerUnitPerCycle = 0.55;
+  /// Effective aggregate memory bandwidth in bytes/second.
+  double MemBandwidth = 14e9;
+  /// Fixed cost of enqueuing + dispatching one CPU (sub)kernel launch.
+  /// Amortizing this is what the adaptive chunk-size heuristic exploits.
+  Duration KernelLaunchOverhead = Duration::microseconds(40);
+  /// Per-work-group dispatch cost inside a launch.
+  Duration WgDispatchOverhead = Duration::microseconds(2);
+  /// The device sits behind the PCIe link (e.g. a Xeon Phi-class
+  /// coprocessor) instead of sharing host memory: transfers pay PCIe
+  /// latency/bandwidth rather than memcpy cost.
+  bool BehindPcie = false;
+};
+
+/// Full-duplex PCIe-like link between host/CPU memory and GPU memory.
+struct PcieModel {
+  /// Bandwidth per direction in bytes/second.
+  double Bandwidth = 5.5e9;
+  /// Fixed latency per transfer command.
+  Duration Latency = Duration::microseconds(18);
+
+  /// Time to move \p Bytes in one direction.
+  Duration transferTime(uint64_t Bytes) const;
+};
+
+/// Host-side software costs (the FluidiCL runtime itself runs on the host).
+struct HostModel {
+  /// memcpy bandwidth for intermediate host-side buffer copies.
+  double MemcpyBandwidth = 10e9;
+  /// Fixed cost of creating one device buffer (driver bookkeeping).
+  Duration BufferCreateOverhead = Duration::microseconds(40);
+  /// Size-dependent allocation cost (page mapping) in bytes/second.
+  double BufferCreateBandwidth = 1e12;
+  /// Cost of a host API call (enqueue bookkeeping etc.).
+  Duration ApiCallOverhead = Duration::microseconds(3);
+
+  Duration memcpyTime(uint64_t Bytes) const;
+  /// Total driver cost of creating a buffer of \p Bytes.
+  Duration bufferCreateTime(uint64_t Bytes) const;
+};
+
+/// The complete simulated node.
+struct Machine {
+  GpuModel Gpu;
+  CpuModel Cpu;
+  PcieModel Pcie;
+  HostModel Host;
+
+  /// Multiplier > 1 slows the CPU down (simulating external system load);
+  /// the dynamic-adaptation experiments use this.
+  double CpuLoadFactor = 1.0;
+  /// Multiplier > 1 slows the GPU down.
+  double GpuLoadFactor = 1.0;
+};
+
+/// Returns the default machine calibrated against the paper's testbed
+/// behaviour (Tesla C2070 + Xeon W3550).
+Machine paperMachine();
+
+/// A very different node: a laptop-class integrated GPU sharing the memory
+/// system with a slower CPU behind a cheap on-die link. Used by the
+/// portability experiment - FluidiCL claims to need no retuning across
+/// machines ("completely portable across different machines").
+Machine laptopMachine();
+
+/// The paper's GPU paired with a Xeon Phi-class coprocessor as the second
+/// device instead of the host CPU (paper section 7: "It can also support
+/// other accelerators like Intel Xeon Phi as long as they are present in
+/// the same node"): many slow wide cores, large bandwidth, high offload
+/// overhead, and - unlike the CPU - PCIe-priced transfers.
+Machine machineWithPhi();
+
+} // namespace hw
+} // namespace fcl
+
+#endif // FCL_HW_MACHINE_H

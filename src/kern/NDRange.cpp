@@ -1,0 +1,116 @@
+//===- kern/NDRange.cpp - NDRange and flattened work-group IDs -----------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kern/NDRange.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace fcl;
+using namespace fcl::kern;
+
+NDRange NDRange::of1D(uint64_t Global, uint64_t Local) {
+  FCL_CHECK(Global > 0 && Local > 0, "NDRange extents must be positive");
+  FCL_CHECK(Global % Local == 0, "local size must divide global size");
+  NDRange R;
+  R.Global = Dim3{Global, 1, 1};
+  R.Local = Dim3{Local, 1, 1};
+  R.Dims = 1;
+  return R;
+}
+
+NDRange NDRange::of2D(uint64_t GlobalX, uint64_t GlobalY, uint64_t LocalX,
+                      uint64_t LocalY) {
+  FCL_CHECK(GlobalX > 0 && GlobalY > 0 && LocalX > 0 && LocalY > 0,
+            "NDRange extents must be positive");
+  FCL_CHECK(GlobalX % LocalX == 0 && GlobalY % LocalY == 0,
+            "local size must divide global size");
+  NDRange R;
+  R.Global = Dim3{GlobalX, GlobalY, 1};
+  R.Local = Dim3{LocalX, LocalY, 1};
+  R.Dims = 2;
+  return R;
+}
+
+NDRange NDRange::of3D(uint64_t GlobalX, uint64_t GlobalY, uint64_t GlobalZ,
+                      uint64_t LocalX, uint64_t LocalY, uint64_t LocalZ) {
+  FCL_CHECK(GlobalX > 0 && GlobalY > 0 && GlobalZ > 0 && LocalX > 0 &&
+                LocalY > 0 && LocalZ > 0,
+            "NDRange extents must be positive");
+  FCL_CHECK(GlobalX % LocalX == 0 && GlobalY % LocalY == 0 &&
+                GlobalZ % LocalZ == 0,
+            "local size must divide global size");
+  NDRange R;
+  R.Global = Dim3{GlobalX, GlobalY, GlobalZ};
+  R.Local = Dim3{LocalX, LocalY, LocalZ};
+  R.Dims = 3;
+  return R;
+}
+
+Dim3 NDRange::numGroups() const {
+  return Dim3{Global.X / Local.X, Global.Y / Local.Y, Global.Z / Local.Z};
+}
+
+uint64_t fcl::kern::flattenGroupId(const Dim3 &GroupId, const Dim3 &NumGroups) {
+  assert(GroupId.X < NumGroups.X && GroupId.Y < NumGroups.Y &&
+         GroupId.Z < NumGroups.Z && "group id out of range");
+  return (GroupId.Z * NumGroups.Y + GroupId.Y) * NumGroups.X + GroupId.X;
+}
+
+Dim3 fcl::kern::unflattenGroupId(uint64_t Flat, const Dim3 &NumGroups) {
+  assert(Flat < NumGroups.product() && "flat group id out of range");
+  Dim3 Id;
+  Id.X = Flat % NumGroups.X;
+  uint64_t Rest = Flat / NumGroups.X;
+  Id.Y = Rest % NumGroups.Y;
+  Id.Z = Rest / NumGroups.Y;
+  return Id;
+}
+
+SliceLaunch fcl::kern::computeSlice(const NDRange &Range, uint64_t StartFlat,
+                                    uint64_t EndFlat) {
+  Dim3 Groups = Range.numGroups();
+  FCL_CHECK(StartFlat < EndFlat, "empty slice");
+  FCL_CHECK(EndFlat <= Groups.product(), "slice exceeds NDRange");
+
+  SliceLaunch Slice;
+  Slice.StartFlat = StartFlat;
+  Slice.EndFlat = EndFlat;
+
+  if (Range.dims() == 1) {
+    Slice.GroupOffset = Dim3{StartFlat, 0, 0};
+    Slice.GroupCount = Dim3{EndFlat - StartFlat, 1, 1};
+    return Slice;
+  }
+
+  // For N-D ranges, launch whole X-rows (2-D) or XY-planes' rows (3-D)
+  // covering the interval; work-groups outside [StartFlat, EndFlat) skip
+  // execution on the device (paper Figure 10).
+  uint64_t RowLen = Groups.X;
+  uint64_t FirstRow = StartFlat / RowLen;
+  uint64_t LastRow = (EndFlat - 1) / RowLen; // Row index of last active WG.
+  if (Range.dims() == 2) {
+    Slice.GroupOffset = Dim3{0, FirstRow, 0};
+    Slice.GroupCount = Dim3{RowLen, LastRow - FirstRow + 1, 1};
+    return Slice;
+  }
+
+  // 3-D: rows are indexed by (Z * NumY + Y); convert the covered row span
+  // back to whole planes when it crosses a plane boundary.
+  uint64_t RowsPerPlane = Groups.Y;
+  uint64_t FirstPlane = FirstRow / RowsPerPlane;
+  uint64_t LastPlane = LastRow / RowsPerPlane;
+  if (FirstPlane == LastPlane) {
+    Slice.GroupOffset = Dim3{0, FirstRow % RowsPerPlane, FirstPlane};
+    Slice.GroupCount =
+        Dim3{RowLen, LastRow - FirstRow + 1, 1};
+    return Slice;
+  }
+  Slice.GroupOffset = Dim3{0, 0, FirstPlane};
+  Slice.GroupCount = Dim3{RowLen, RowsPerPlane, LastPlane - FirstPlane + 1};
+  return Slice;
+}

@@ -1,0 +1,105 @@
+//===- kern/NDRange.h - NDRange and flattened work-group IDs ---*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenCL-style NDRange geometry: up to three dimensions of work-items
+/// organized into work-groups, plus the *flattened work-group ID* numbering
+/// FluidiCL uses as its unit of work distribution (paper Figure 5) and the
+/// offset calculation that turns a flat work-group interval back into an
+/// N-D slice launch (paper section 5.2 / Figure 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_KERN_NDRANGE_H
+#define FCL_KERN_NDRANGE_H
+
+#include <cstdint>
+
+namespace fcl {
+namespace kern {
+
+/// A 3-component extent/index. Unused dimensions are 1 (extents) or 0
+/// (indices).
+struct Dim3 {
+  uint64_t X = 1;
+  uint64_t Y = 1;
+  uint64_t Z = 1;
+
+  constexpr uint64_t product() const { return X * Y * Z; }
+  constexpr bool operator==(const Dim3 &) const = default;
+};
+
+/// The index space of one kernel launch: global work-item extent and
+/// work-group (local) extent per dimension. Local sizes must divide the
+/// global sizes, as in OpenCL without remainder groups.
+class NDRange {
+public:
+  NDRange() = default;
+
+  /// 1-D range of \p Global items in groups of \p Local.
+  static NDRange of1D(uint64_t Global, uint64_t Local);
+  /// 2-D range; X is the fastest-varying dimension.
+  static NDRange of2D(uint64_t GlobalX, uint64_t GlobalY, uint64_t LocalX,
+                      uint64_t LocalY);
+  /// 3-D range.
+  static NDRange of3D(uint64_t GlobalX, uint64_t GlobalY, uint64_t GlobalZ,
+                      uint64_t LocalX, uint64_t LocalY, uint64_t LocalZ);
+
+  int dims() const { return Dims; }
+  const Dim3 &globalSize() const { return Global; }
+  const Dim3 &localSize() const { return Local; }
+
+  /// Work-group grid extents per dimension.
+  Dim3 numGroups() const;
+  /// Total number of work-groups.
+  uint64_t totalGroups() const { return numGroups().product(); }
+  /// Work-items per work-group.
+  uint64_t itemsPerGroup() const { return Local.product(); }
+  /// Total number of work-items.
+  uint64_t totalItems() const { return Global.product(); }
+
+  bool operator==(const NDRange &) const = default;
+
+private:
+  Dim3 Global;
+  Dim3 Local;
+  int Dims = 1;
+};
+
+/// Flattens an N-D work-group ID to the 1-D numbering of paper Figure 5
+/// (X fastest-varying: flat = (Z * NumY + Y) * NumX + X).
+uint64_t flattenGroupId(const Dim3 &GroupId, const Dim3 &NumGroups);
+
+/// Inverse of flattenGroupId.
+Dim3 unflattenGroupId(uint64_t Flat, const Dim3 &NumGroups);
+
+/// The slice launch computed by FluidiCL's offset calculation (section 5.2):
+/// to run flat work-groups [StartFlat, EndFlat), a (possibly larger) box of
+/// work-groups starting at GroupOffset with extents GroupCount is launched,
+/// and work-groups outside [StartFlat, EndFlat) skip execution on-device.
+struct SliceLaunch {
+  Dim3 GroupOffset;
+  Dim3 GroupCount;
+  uint64_t StartFlat = 0;
+  uint64_t EndFlat = 0;
+
+  /// Number of work-groups that actually execute.
+  uint64_t activeGroups() const { return EndFlat - StartFlat; }
+  /// Number of work-groups launched (>= activeGroups for N-D ranges).
+  uint64_t launchedGroups() const { return GroupCount.product(); }
+};
+
+/// Computes the slice launch covering flat work-groups [StartFlat, EndFlat)
+/// of \p Range. For 1-D ranges the launch is exact; for 2-D/3-D it covers
+/// whole rows/planes and relies on the on-device range check, exactly as
+/// the paper's CPU subkernels do.
+SliceLaunch computeSlice(const NDRange &Range, uint64_t StartFlat,
+                         uint64_t EndFlat);
+
+} // namespace kern
+} // namespace fcl
+
+#endif // FCL_KERN_NDRANGE_H

@@ -1,0 +1,69 @@
+//===- kern/Registry.h - Kernel registry ------------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name -> KernelInfo registry. Stands in for OpenCL program compilation:
+/// mcl::Program::build looks kernels up here, the way clBuildProgram
+/// produces kernels from source in a real OpenCL stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_KERN_REGISTRY_H
+#define FCL_KERN_REGISTRY_H
+
+#include "kern/Kernel.h"
+
+#include <map>
+#include <string>
+
+namespace fcl {
+namespace kern {
+
+/// Holds registered kernels by name.
+class Registry {
+public:
+  /// Registers \p Info; the name must be unused.
+  void add(KernelInfo Info);
+
+  /// Looks a kernel up; returns nullptr if absent.
+  const KernelInfo *find(const std::string &Name) const;
+
+  /// Looks a kernel up; aborts if absent.
+  const KernelInfo &get(const std::string &Name) const;
+
+  size_t size() const { return Kernels.size(); }
+
+  /// The process-wide registry preloaded with every built-in kernel
+  /// (Polybench suite, merge kernel, vector demo kernels). Lazily
+  /// initialized on first use; no static constructors.
+  static Registry &builtin();
+
+private:
+  std::map<std::string, KernelInfo> Kernels;
+};
+
+// Registration hooks, one per kernel family (called by Registry::builtin).
+void registerAtaxKernels(Registry &R);
+void registerBicgKernels(Registry &R);
+void registerCorrKernels(Registry &R);
+void registerGesummvKernels(Registry &R);
+void registerSyrkKernels(Registry &R);
+void registerSyr2kKernels(Registry &R);
+void registerMvtKernels(Registry &R);
+void registerGemmKernels(Registry &R);
+void registerJacobiKernels(Registry &R);
+void registerCovarKernels(Registry &R);
+void registerVectorKernels(Registry &R);
+void registerMergeKernel(Registry &R);
+
+/// Bytes of buffer processed by one md_merge_kernel work-item (the merge
+/// NDRange covers ceil(bytes / MergeChunkBytes) items).
+extern const uint64_t MergeChunkBytes;
+
+} // namespace kern
+} // namespace fcl
+
+#endif // FCL_KERN_REGISTRY_H

@@ -1,0 +1,81 @@
+//===- kern/polybench/Bicg.cpp - BICG kernels (q = A p, s = A^T r) -------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// BICG from Polybench: the paper's Table 1 example of an application whose
+/// two kernels each run faster on a *different* device - kernel 1 (row walk)
+/// prefers the CPU, kernel 2 (column walk) prefers the GPU - so cooperative
+/// execution with automatic data management beats any single device.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+using namespace fcl::kern::poly;
+
+void fcl::kern::registerBicgKernels(Registry &R) {
+  // Kernel 1: q[i] = sum_j A[i][j] * p[j].
+  // Args: 0=A(In) 1=p(In) 2=q(Out) 3=NX 4=NY.
+  {
+    KernelInfo K;
+    K.Name = "bicg_kernel1";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      const float *P = Args.bufferAs<float>(1);
+      float *Q = Args.bufferAs<float>(2);
+      int64_t NX = Args.i64(3), NY = Args.i64(4);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I >= NX)
+        return;
+      float Sum = 0;
+      for (int64_t J = 0; J < NY; ++J)
+        Sum += A[I * NY + J] * P[J];
+      Q[I] = Sum;
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double NY = static_cast<double>(Q.Scalars[4].IntValue);
+      // Row walk with very poor coalescing on the GPU: the CPU wins this
+      // kernel (paper Table 1, BICGKernel1).
+      return dotCost(NY, 4 * NY, /*GpuCoal=*/0.05, /*GpuEff=*/0.5,
+                     /*CpuFlopEff=*/0.8, /*CpuMemEff=*/0.5);
+    };
+    R.add(std::move(K));
+  }
+
+  // Kernel 2: s[j] = sum_i A[i][j] * r[i].
+  // Args: 0=A(In) 1=r(In) 2=s(Out) 3=NX 4=NY.
+  {
+    KernelInfo K;
+    K.Name = "bicg_kernel2";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      const float *RVec = Args.bufferAs<float>(1);
+      float *S = Args.bufferAs<float>(2);
+      int64_t NX = Args.i64(3), NY = Args.i64(4);
+      int64_t J = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (J >= NY)
+        return;
+      float Sum = 0;
+      for (int64_t I = 0; I < NX; ++I)
+        Sum += A[I * NY + J] * RVec[I];
+      S[J] = Sum;
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double NX = static_cast<double>(Q.Scalars[3].IntValue);
+      // Column walk: the GPU wins this kernel (paper Table 1, BICGKernel2).
+      return dotCost(NX, 4 * NX, /*GpuCoal=*/0.9, /*GpuEff=*/0.5,
+                     /*CpuFlopEff=*/0.6, /*CpuMemEff=*/0.18);
+    };
+    R.add(std::move(K));
+  }
+}

@@ -1,0 +1,121 @@
+//===- kern/polybench/Covar.cpp - COVAR (covariance matrix) ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// COVAR from Polybench - an extension workload. Structurally CORR's
+/// sibling: a column-mean kernel, a mean-subtraction kernel, and a
+/// dominant pairwise-product kernel over the centered data (no
+/// normalization step). Gives the suite a second multi-kernel,
+/// GPU-leaning application with a different kernel count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+using namespace fcl::kern::poly;
+
+void fcl::kern::registerCovarKernels(Registry &R) {
+  // Kernel 1: mean[j] = sum_i data[i][j] / N.
+  // Args: 0=data(In) 1=mean(Out) 2=N 3=M.
+  {
+    KernelInfo K;
+    K.Name = "covar_mean_kernel";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *Data = Args.bufferAs<float>(0);
+      float *Mean = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2), M = Args.i64(3);
+      int64_t J = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (J >= M)
+        return;
+      float Sum = 0;
+      for (int64_t I = 0; I < N; ++I)
+        Sum += Data[I * M + J];
+      Mean[J] = Sum / static_cast<float>(N);
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double N = static_cast<double>(Q.Scalars[2].IntValue);
+      return dotCost(N, 4 * N, /*GpuCoal=*/0.9, /*GpuEff=*/0.5,
+                     /*CpuFlopEff=*/0.6, /*CpuMemEff=*/0.1);
+    };
+    R.add(std::move(K));
+  }
+
+  // Kernel 2: data[i][j] -= mean[j].
+  // Args: 0=data(InOut) 1=mean(In) 2=N 3=M.
+  {
+    KernelInfo K;
+    K.Name = "covar_center_kernel";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::InOut, ArgAccess::In, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      float *Data = Args.bufferAs<float>(0);
+      const float *Mean = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2), M = Args.i64(3);
+      int64_t J = static_cast<int64_t>(Ctx.GlobalId.X);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.Y);
+      if (I >= N || J >= M)
+        return;
+      Data[I * M + J] -= Mean[J];
+    };
+    K.Cost = [](const CostQuery &) {
+      hw::WorkItemCost C;
+      C.Flops = 1;
+      C.BytesRead = 4;
+      C.BytesWritten = 4;
+      C.GpuCoalescing = 0.9;
+      C.GpuEfficiency = 0.4;
+      C.CpuFlopEfficiency = 0.8;
+      C.CpuMemEfficiency = 0.6;
+      return C;
+    };
+    R.add(std::move(K));
+  }
+
+  // Kernel 3 (dominant): cov[j1][j2] = sum_i data[i][j1]*data[i][j2]/(N-1),
+  // symmetric, one item per (j1 <= j2) pair (the j2 < j1 items bail out).
+  // Args: 0=data(In) 1=cov(Out) 2=N 3=M.
+  {
+    KernelInfo K;
+    K.Name = "covar_cov_kernel";
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *Data = Args.bufferAs<float>(0);
+      float *Cov = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2), M = Args.i64(3);
+      int64_t J2 = static_cast<int64_t>(Ctx.GlobalId.X);
+      int64_t J1 = static_cast<int64_t>(Ctx.GlobalId.Y);
+      if (J1 >= M || J2 >= M || J2 < J1)
+        return;
+      float Sum = 0;
+      for (int64_t I = 0; I < N; ++I)
+        Sum += Data[I * M + J1] * Data[I * M + J2];
+      Sum /= static_cast<float>(N - 1);
+      Cov[J1 * M + J2] = Sum;
+      Cov[J2 * M + J1] = Sum;
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double N = static_cast<double>(Q.Scalars[2].IntValue);
+      hw::WorkItemCost C;
+      C.Flops = N;
+      C.BytesRead = 24;
+      C.BytesWritten = 4;
+      C.GpuCoalescing = 0.9;
+      C.GpuEfficiency = 0.03; // Divergent triangular space, like CORR.
+      C.CpuFlopEfficiency = 0.2;
+      C.CpuMemEfficiency = 0.3;
+      C.LoopTripCount = N;
+      C.NoUnrollPenalty = 1.5;
+      return C;
+    };
+    R.add(std::move(K));
+  }
+}

@@ -1,0 +1,55 @@
+//===- kern/polybench/Gesummv.cpp - GESUMMV (y = aAx + bBx) --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// GESUMMV from Polybench: a single scalar-vector-matrix kernel that runs
+/// best on the CPU alone in the paper's evaluation (the GPU loses to the
+/// host-to-device transfer of the two matrices); FluidiCL matches the CPU.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+using namespace fcl::kern::poly;
+
+void fcl::kern::registerGesummvKernels(Registry &R) {
+  // y[i] = alpha * sum_j A[i][j]x[j] + beta * sum_j B[i][j]x[j].
+  // Args: 0=A(In) 1=B(In) 2=x(In) 3=y(Out) 4=alpha 5=beta 6=N.
+  KernelInfo K;
+  K.Name = "gesummv_kernel";
+  K.RowContiguousOutput = true;
+  K.Args = {ArgAccess::In,     ArgAccess::In,     ArgAccess::In,
+            ArgAccess::Out,    ArgAccess::Scalar, ArgAccess::Scalar,
+            ArgAccess::Scalar};
+  K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+    const float *A = Args.bufferAs<float>(0);
+    const float *B = Args.bufferAs<float>(1);
+    const float *X = Args.bufferAs<float>(2);
+    float *Y = Args.bufferAs<float>(3);
+    float Alpha = static_cast<float>(Args.f64(4));
+    float Beta = static_cast<float>(Args.f64(5));
+    int64_t N = Args.i64(6);
+    int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+    if (I >= N)
+      return;
+    float SumA = 0, SumB = 0;
+    for (int64_t J = 0; J < N; ++J) {
+      SumA += A[I * N + J] * X[J];
+      SumB += B[I * N + J] * X[J];
+    }
+    Y[I] = Alpha * SumA + Beta * SumB;
+  };
+  K.Cost = [](const CostQuery &Q) {
+    double N = static_cast<double>(Q.Scalars[6].IntValue);
+    // Two row walks per item; double traffic and double flops.
+    hw::WorkItemCost C = dotCost(2 * N, 8 * N, /*GpuCoal=*/0.025,
+                                 /*GpuEff=*/0.5, /*CpuFlopEff=*/0.9,
+                                 /*CpuMemEff=*/0.5);
+    return C;
+  };
+  R.add(std::move(K));
+}

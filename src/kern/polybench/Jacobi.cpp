@@ -1,0 +1,59 @@
+//===- kern/polybench/Jacobi.cpp - 2-D Jacobi stencil kernel --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A 2-D Jacobi relaxation step (out = average of the four neighbours,
+/// boundary rows/columns copied through) - the building block of the
+/// iterative-solver example. Stencils are the classic "many medium-sized
+/// kernels in a loop" pattern the paper's intro motivates: every iteration
+/// is one kernel, buffers ping-pong, and coherent data must follow the
+/// work across devices each time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+using namespace fcl::kern::poly;
+
+void fcl::kern::registerJacobiKernels(Registry &R) {
+  // out[i][j] = 0.25*(in[i-1][j] + in[i+1][j] + in[i][j-1] + in[i][j+1])
+  // for interior points; boundary points copy through.
+  // Args: 0=in(In) 1=out(Out) 2=N.
+  KernelInfo K;
+  K.Name = "jacobi2d_kernel";
+  K.RowContiguousOutput = true;
+  K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+  K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+    const float *In = Args.bufferAs<float>(0);
+    float *Out = Args.bufferAs<float>(1);
+    int64_t N = Args.i64(2);
+    int64_t J = static_cast<int64_t>(Ctx.GlobalId.X);
+    int64_t I = static_cast<int64_t>(Ctx.GlobalId.Y);
+    if (I >= N || J >= N)
+      return;
+    if (I == 0 || J == 0 || I == N - 1 || J == N - 1) {
+      Out[I * N + J] = In[I * N + J];
+      return;
+    }
+    Out[I * N + J] = 0.25f * (In[(I - 1) * N + J] + In[(I + 1) * N + J] +
+                              In[I * N + J - 1] + In[I * N + J + 1]);
+  };
+  K.Cost = [](const CostQuery &) {
+    hw::WorkItemCost C;
+    C.Flops = 4;
+    // Vertical neighbours stream from memory; horizontal ones hit cache.
+    C.BytesRead = 12;
+    C.BytesWritten = 4;
+    C.GpuCoalescing = 0.85;
+    C.GpuEfficiency = 0.5;
+    C.CpuFlopEfficiency = 1.0;
+    C.CpuMemEfficiency = 0.55;
+    C.LoopTripCount = 1;
+    return C;
+  };
+  R.add(std::move(K));
+}

@@ -1,0 +1,78 @@
+//===- kern/polybench/Mvt.cpp - MVT (x1 += A y1, x2 += A^T y2) ------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// MVT from Polybench - an *extension* beyond the paper's six benchmarks
+/// (the paper argues FluidiCL "would encourage more programs to be ported
+/// to OpenCL"): two independent matrix-vector products with opposite
+/// access patterns, so like BICG the kernels prefer different devices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+using namespace fcl::kern::poly;
+
+void fcl::kern::registerMvtKernels(Registry &R) {
+  // Kernel 1: x1[i] += sum_j A[i][j] * y1[j] (row walk).
+  // Args: 0=A(In) 1=y1(In) 2=x1(InOut) 3=N.
+  {
+    KernelInfo K;
+    K.Name = "mvt_kernel1";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::In, ArgAccess::InOut,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      const float *Y1 = Args.bufferAs<float>(1);
+      float *X1 = Args.bufferAs<float>(2);
+      int64_t N = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I >= N)
+        return;
+      float Sum = X1[I];
+      for (int64_t J = 0; J < N; ++J)
+        Sum += A[I * N + J] * Y1[J];
+      X1[I] = Sum;
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double N = static_cast<double>(Q.Scalars[3].IntValue);
+      return dotCost(N, 4 * N, /*GpuCoal=*/0.07, /*GpuEff=*/0.5,
+                     /*CpuFlopEff=*/0.8, /*CpuMemEff=*/0.45);
+    };
+    R.add(std::move(K));
+  }
+
+  // Kernel 2: x2[i] += sum_j A[j][i] * y2[j] (column walk).
+  // Args: 0=A(In) 1=y2(In) 2=x2(InOut) 3=N.
+  {
+    KernelInfo K;
+    K.Name = "mvt_kernel2";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::In, ArgAccess::InOut,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      const float *Y2 = Args.bufferAs<float>(1);
+      float *X2 = Args.bufferAs<float>(2);
+      int64_t N = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I >= N)
+        return;
+      float Sum = X2[I];
+      for (int64_t J = 0; J < N; ++J)
+        Sum += A[J * N + I] * Y2[J];
+      X2[I] = Sum;
+    };
+    K.Cost = [](const CostQuery &Q) {
+      double N = static_cast<double>(Q.Scalars[3].IntValue);
+      return dotCost(N, 4 * N, /*GpuCoal=*/0.9, /*GpuEff=*/0.5,
+                     /*CpuFlopEff=*/0.6, /*CpuMemEff=*/0.1);
+    };
+    R.add(std::move(K));
+  }
+}

@@ -1,0 +1,157 @@
+//===- kern/polybench/Vector.cpp - Demo/test vector kernels ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Small vector kernels used by the quickstart example and the unit tests:
+/// vector add, SAXPY, scale, and a barrier-using block-sum reduction that
+/// exercises local memory + the barrier-phase machinery (and therefore the
+/// CPU work-group-splitting barrier replacement of paper section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/polybench/PolybenchKernels.h"
+
+using namespace fcl;
+using namespace fcl::kern;
+
+namespace {
+
+hw::WorkItemCost streamCost(double Flops, double Bytes) {
+  hw::WorkItemCost C;
+  C.Flops = Flops;
+  C.BytesRead = Bytes;
+  C.BytesWritten = 4;
+  C.GpuCoalescing = 0.9;
+  C.GpuEfficiency = 0.5;
+  C.CpuFlopEfficiency = 1.0;
+  C.CpuMemEfficiency = 0.7;
+  C.LoopTripCount = 1;
+  return C;
+}
+
+} // namespace
+
+void fcl::kern::registerVectorKernels(Registry &R) {
+  // c[i] = a[i] + b[i].  Args: 0=a(In) 1=b(In) 2=c(Out) 3=n.
+  {
+    KernelInfo K;
+    K.Name = "vec_add";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      const float *B = Args.bufferAs<float>(1);
+      float *C = Args.bufferAs<float>(2);
+      int64_t N = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < N)
+        C[I] = A[I] + B[I];
+    };
+    K.Cost = [](const CostQuery &) { return streamCost(1, 8); };
+    R.add(std::move(K));
+  }
+
+  // y[i] = alpha*x[i] + y[i].  Args: 0=x(In) 1=y(InOut) 2=alpha 3=n.
+  {
+    KernelInfo K;
+    K.Name = "saxpy";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::InOut, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *X = Args.bufferAs<float>(0);
+      float *Y = Args.bufferAs<float>(1);
+      float Alpha = static_cast<float>(Args.f64(2));
+      int64_t N = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < N)
+        Y[I] = Alpha * X[I] + Y[I];
+    };
+    K.Cost = [](const CostQuery &) { return streamCost(2, 8); };
+    R.add(std::move(K));
+  }
+
+  // y[i] = alpha*x[i].  Args: 0=x(In) 1=y(Out) 2=alpha 3=n.
+  {
+    KernelInfo K;
+    K.Name = "vec_scale";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *X = Args.bufferAs<float>(0);
+      float *Y = Args.bufferAs<float>(1);
+      float Alpha = static_cast<float>(Args.f64(2));
+      int64_t N = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < N)
+        Y[I] = Alpha * X[I];
+    };
+    K.Cost = [](const CostQuery &) { return streamCost(1, 4); };
+    R.add(std::move(K));
+  }
+
+  // Histogram with atomic increments: FluidiCL cannot split kernels that
+  // use atomics across devices (paper section 7), so this kernel triggers
+  // the GPU-only fallback. Args: 0=x(In) 1=hist(InOut) 2=n 3=bins.
+  {
+    KernelInfo K;
+    K.Name = "histogram_atomic";
+    K.UsesAtomics = true;
+    K.Args = {ArgAccess::In, ArgAccess::InOut, ArgAccess::Scalar,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *X = Args.bufferAs<float>(0);
+      float *Hist = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2), Bins = Args.i64(3);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I >= N)
+        return;
+      int64_t Bin = static_cast<int64_t>(X[I] * static_cast<float>(Bins));
+      if (Bin >= Bins)
+        Bin = Bins - 1;
+      if (Bin < 0)
+        Bin = 0;
+      // Executed sequentially per device in the simulator, so the plain
+      // add stands in for atomic_add.
+      Hist[Bin] += 1.0f;
+    };
+    K.Cost = [](const CostQuery &) { return streamCost(4, 8); };
+    R.add(std::move(K));
+  }
+
+  // Barrier-based per-work-group reduction:
+  //   phase 0: local[lid] = x[gid]
+  //   phase 1 (after barrier): lid 0 sums local into partial[group].
+  // Args: 0=x(In) 1=partial(Out) 2=n.
+  {
+    KernelInfo K;
+    K.Name = "block_sum";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.NumPhases = 2;
+    K.LocalBytes = 1024 * sizeof(float); // Upper bound on local size.
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *X = Args.bufferAs<float>(0);
+      float *Partial = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2);
+      float *Local = reinterpret_cast<float *>(Ctx.Local);
+      uint64_t Lid = Ctx.LocalId.X;
+      int64_t Gid = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (Ctx.Phase == 0) {
+        Local[Lid] = Gid < N ? X[Gid] : 0.0f;
+        return;
+      }
+      if (Lid != 0)
+        return;
+      float Sum = 0;
+      for (uint64_t I = 0; I < Ctx.LocalSize.X; ++I)
+        Sum += Local[I];
+      Partial[Ctx.flatGroupId()] = Sum;
+    };
+    K.Cost = [](const CostQuery &) { return streamCost(2, 4); };
+    R.add(std::move(K));
+  }
+}

@@ -1,0 +1,19 @@
+//===- mcl/Buffer.cpp - Device memory objects ------------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcl/Buffer.h"
+
+#include "support/Error.h"
+
+using namespace fcl;
+using namespace fcl::mcl;
+
+Buffer::Buffer(Device &Dev, uint64_t Size, bool Backed, std::string DebugName)
+    : Dev(Dev), Size(Size), DebugName(std::move(DebugName)) {
+  FCL_CHECK(Size > 0, "zero-sized buffer");
+  if (Backed)
+    Storage.assign(Size, std::byte{0});
+}

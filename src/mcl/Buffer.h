@@ -1,0 +1,61 @@
+//===- mcl/Buffer.h - Device memory objects ---------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Buffer is a device-resident memory object (the analogue of cl_mem).
+/// Devices in this reproduction have *discrete* address spaces, as in the
+/// paper's CPU+discrete-GPU setup: a buffer belongs to exactly one device
+/// and moves only through explicit queue transfers.
+///
+/// In Functional execution mode a buffer owns real backing storage and
+/// kernels compute real results; in TimingOnly mode only the size is
+/// tracked and data-less commands are timed (used for large parameter
+/// sweeps in the bench harnesses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_MCL_BUFFER_H
+#define FCL_MCL_BUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace mcl {
+
+class Device;
+
+/// Device memory object.
+class Buffer {
+public:
+  /// Created through Context::createBuffer; \p Backed selects Functional
+  /// (true) vs TimingOnly (false) storage.
+  Buffer(Device &Dev, uint64_t Size, bool Backed, std::string DebugName);
+
+  Device &device() const { return Dev; }
+  uint64_t size() const { return Size; }
+  const std::string &debugName() const { return DebugName; }
+
+  /// Backing storage, or nullptr in TimingOnly mode.
+  std::byte *data() { return Storage.empty() ? nullptr : Storage.data(); }
+  const std::byte *data() const {
+    return Storage.empty() ? nullptr : Storage.data();
+  }
+  bool backed() const { return !Storage.empty(); }
+
+private:
+  Device &Dev;
+  uint64_t Size;
+  std::string DebugName;
+  std::vector<std::byte> Storage;
+};
+
+} // namespace mcl
+} // namespace fcl
+
+#endif // FCL_MCL_BUFFER_H

@@ -1,0 +1,88 @@
+//===- mcl/Context.h - MiniCL context ---------------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniCL context owns the simulator, the machine description, and the
+/// two devices (CPU + discrete GPU), and creates buffers and command
+/// queues. It is the analogue of a cl_context spanning both vendor
+/// platforms (which is what FluidiCL builds on top of, paper Figure 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_MCL_CONTEXT_H
+#define FCL_MCL_CONTEXT_H
+
+#include "hw/Machine.h"
+#include "mcl/Buffer.h"
+#include "mcl/Device.h"
+#include "sim/Simulator.h"
+#include "trace/Tracer.h"
+
+#include <memory>
+#include <string>
+
+namespace fcl {
+namespace mcl {
+
+class CommandQueue;
+
+/// Whether kernels compute real results or only consume simulated time.
+enum class ExecMode {
+  Functional,
+  TimingOnly,
+};
+
+/// Owns the simulated machine: clock, devices, buffers, queues.
+class Context {
+public:
+  explicit Context(const hw::Machine &M = hw::paperMachine(),
+                   ExecMode Mode = ExecMode::Functional);
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  sim::Simulator &simulator() { return Sim; }
+  const hw::Machine &machine() const { return M; }
+  ExecMode execMode() const { return Mode; }
+  bool functional() const { return Mode == ExecMode::Functional; }
+
+  Device &cpu() { return *Cpu; }
+  Device &gpu() { return *Gpu; }
+
+  /// Current simulated time.
+  TimePoint now() const { return Sim.now(); }
+
+  /// Advances the simulated clock by \p D, running any events that fall in
+  /// the window (models host-side work such as API-call overheads).
+  void hostAdvance(Duration D);
+
+  /// Creates a device buffer, charging the host-side creation overhead.
+  std::unique_ptr<Buffer> createBuffer(Device &Dev, uint64_t Size,
+                                       std::string DebugName = "buf");
+
+  /// Creates an in-order command queue for \p Dev.
+  std::unique_ptr<CommandQueue> createQueue(Device &Dev,
+                                            std::string DebugName = "queue");
+
+  /// Attaches an execution tracer (nullptr detaches). Every queue command
+  /// records a slice on its resource's lane while a tracer is attached.
+  void setTracer(trace::Tracer *T) { ActiveTracer = T; }
+  trace::Tracer *tracer() const { return ActiveTracer; }
+
+private:
+  hw::Machine M;
+  ExecMode Mode;
+  sim::Simulator Sim;
+  std::unique_ptr<Device> Cpu;
+  std::unique_ptr<Device> Gpu;
+  trace::Tracer *ActiveTracer = nullptr;
+};
+
+} // namespace mcl
+} // namespace fcl
+
+#endif // FCL_MCL_CONTEXT_H

@@ -1,0 +1,39 @@
+//===- mcl/Event.cpp - Completion events -----------------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcl/Event.h"
+
+#include "mcl/Context.h"
+#include "support/Error.h"
+
+using namespace fcl;
+using namespace fcl::mcl;
+
+void Event::onComplete(std::function<void()> Fn) {
+  FCL_CHECK(Fn != nullptr, "null completion callback");
+  if (Complete) {
+    Fn();
+    return;
+  }
+  Callbacks.push_back(std::move(Fn));
+}
+
+void Event::wait() {
+  Ctx.simulator().runWhileNot([this] { return Complete; });
+  FCL_CHECK(Complete, "event cannot complete: simulation queue drained");
+}
+
+void Event::fire(uint64_t PayloadValue) {
+  FCL_CHECK(!Complete, "event fired twice");
+  Complete = true;
+  CompleteAt = Ctx.simulator().now();
+  Payload = PayloadValue;
+  // Callbacks may register further callbacks/commands; run on a moved copy.
+  std::vector<std::function<void()>> Fns = std::move(Callbacks);
+  Callbacks.clear();
+  for (auto &Fn : Fns)
+    Fn();
+}

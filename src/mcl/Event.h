@@ -1,0 +1,66 @@
+//===- mcl/Event.h - Completion events --------------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analogue of cl_event: a completion token for an enqueued command.
+/// Completion callbacks registered on an event fire at the simulated
+/// completion timestamp; FluidiCL's event-driven host "threads" (the CPU
+/// scheduler and the device-to-host stage) are built out of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_MCL_EVENT_H
+#define FCL_MCL_EVENT_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fcl {
+namespace mcl {
+
+class Context;
+
+/// Completion token for one enqueued command.
+class Event {
+public:
+  explicit Event(Context &Ctx) : Ctx(Ctx) {}
+
+  bool isComplete() const { return Complete; }
+  /// Simulated completion timestamp; only valid once complete.
+  TimePoint completeTime() const { return CompleteAt; }
+  /// Command-specific payload: for kernel launches, the number of
+  /// work-groups the device actually executed (aborted ones excluded).
+  uint64_t payload() const { return Payload; }
+
+  /// Registers \p Fn to run at completion; runs immediately if already
+  /// complete.
+  void onComplete(std::function<void()> Fn);
+
+  /// Blocks (runs the simulator) until this event completes.
+  void wait();
+
+  /// Marks the event complete at the current simulated time. Called by the
+  /// owning queue/device exactly once.
+  void fire(uint64_t PayloadValue = 0);
+
+private:
+  Context &Ctx;
+  bool Complete = false;
+  TimePoint CompleteAt;
+  uint64_t Payload = 0;
+  std::vector<std::function<void()>> Callbacks;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+} // namespace mcl
+} // namespace fcl
+
+#endif // FCL_MCL_EVENT_H

@@ -1,0 +1,19 @@
+//===- mcl/Platform.cpp - Vendor platform discovery ------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcl/Platform.h"
+
+#include "mcl/Context.h"
+
+using namespace fcl;
+using namespace fcl::mcl;
+
+std::vector<Platform> fcl::mcl::discoverPlatforms(Context &Ctx) {
+  return {
+      Platform{"SimNV OpenCL", &Ctx.gpu()},
+      Platform{"SimAMD APP", &Ctx.cpu()},
+  };
+}

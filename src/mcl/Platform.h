@@ -1,0 +1,40 @@
+//===- mcl/Platform.h - Vendor platform discovery ---------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analogue of clGetPlatformIDs/clGetDeviceIDs: each simulated device
+/// is exposed through its own "vendor" platform (paper Figure 1 - FluidiCL
+/// sets up the CPU platform and the GPU platform side by side and drives
+/// both vendor runtimes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_MCL_PLATFORM_H
+#define FCL_MCL_PLATFORM_H
+
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace mcl {
+
+class Context;
+class Device;
+
+/// One vendor platform exposing one device.
+struct Platform {
+  std::string VendorName;
+  Device *Dev = nullptr;
+};
+
+/// Enumerates the platforms of \p Ctx (GPU vendor first, matching the
+/// typical ICD ordering the paper's setup used).
+std::vector<Platform> discoverPlatforms(Context &Ctx);
+
+} // namespace mcl
+} // namespace fcl
+
+#endif // FCL_MCL_PLATFORM_H

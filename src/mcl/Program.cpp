@@ -1,0 +1,94 @@
+//===- mcl/Program.cpp - Programs and stateful kernel objects --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcl/Program.h"
+
+#include "kern/Registry.h"
+#include "mcl/Buffer.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace fcl;
+using namespace fcl::mcl;
+
+Program::Program(const std::vector<std::string> &KernelNames) {
+  for (const std::string &Name : KernelNames)
+    Kernels.push_back(&kern::Registry::builtin().get(Name));
+}
+
+Program Program::allBuiltins() {
+  // The registry has no iteration API by design (lookup-only, like a
+  // compiled binary); enumerate the known families here.
+  return Program({
+      "atax_kernel1", "atax_kernel2", "bicg_kernel1", "bicg_kernel2",
+      "corr_mean_kernel", "corr_std_kernel", "corr_center_kernel",
+      "corr_corr_kernel", "corr_corr_kernel_cpuopt", "gesummv_kernel",
+      "syrk_kernel", "syr2k_kernel", "mvt_kernel1", "mvt_kernel2",
+      "gemm_kernel", "jacobi2d_kernel", "covar_mean_kernel",
+      "covar_center_kernel", "covar_cov_kernel", "vec_add", "saxpy", "vec_scale", "histogram_atomic",
+      "block_sum", "md_merge_kernel",
+  });
+}
+
+bool Program::hasKernel(const std::string &Name) const {
+  for (const kern::KernelInfo *K : Kernels)
+    if (K->Name == Name)
+      return true;
+  return false;
+}
+
+const kern::KernelInfo &Program::kernel(const std::string &Name) const {
+  for (const kern::KernelInfo *K : Kernels)
+    if (K->Name == Name)
+      return *K;
+  fatalError(__FILE__, __LINE__,
+             formatString("kernel '%s' not in program", Name.c_str()).c_str());
+}
+
+KernelObject::KernelObject(const Program &Prog, const std::string &Name)
+    : Info(&Prog.kernel(Name)), Args(Info->Args.size()),
+      Set(Info->Args.size(), false) {}
+
+void KernelObject::setArgBuffer(size_t Index, Buffer *Buf) {
+  FCL_CHECK(Index < Args.size(), "argument index out of range");
+  FCL_CHECK(Info->Args[Index] != kern::ArgAccess::Scalar,
+            "buffer bound to scalar argument");
+  FCL_CHECK(Buf != nullptr, "null buffer argument");
+  Args[Index] = LaunchArg::buffer(Buf);
+  Set[Index] = true;
+}
+
+void KernelObject::setArgInt(size_t Index, int64_t Value) {
+  FCL_CHECK(Index < Args.size(), "argument index out of range");
+  FCL_CHECK(Info->Args[Index] == kern::ArgAccess::Scalar,
+            "scalar bound to buffer argument");
+  Args[Index] = LaunchArg::scalarInt(Value);
+  Set[Index] = true;
+}
+
+void KernelObject::setArgFloat(size_t Index, double Value) {
+  FCL_CHECK(Index < Args.size(), "argument index out of range");
+  FCL_CHECK(Info->Args[Index] == kern::ArgAccess::Scalar,
+            "scalar bound to buffer argument");
+  Args[Index] = LaunchArg::scalarFp(Value);
+  Set[Index] = true;
+}
+
+bool KernelObject::argsComplete() const {
+  for (bool B : Set)
+    if (!B)
+      return false;
+  return true;
+}
+
+LaunchDesc KernelObject::buildLaunch(const kern::NDRange &Range) const {
+  FCL_CHECK(argsComplete(), "kernel launched with unset arguments");
+  LaunchDesc Desc;
+  Desc.Kernel = Info;
+  Desc.Range = Range;
+  Desc.Args = Args;
+  return Desc;
+}

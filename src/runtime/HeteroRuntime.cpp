@@ -1,0 +1,12 @@
+//===- runtime/HeteroRuntime.cpp - Common runtime interface ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HeteroRuntime.h"
+
+using namespace fcl;
+using namespace fcl::runtime;
+
+HeteroRuntime::~HeteroRuntime() = default;

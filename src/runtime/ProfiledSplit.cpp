@@ -1,0 +1,64 @@
+//===- runtime/ProfiledSplit.cpp - Qilin-style trained splitter -----------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ProfiledSplit.h"
+
+using namespace fcl;
+using namespace fcl::runtime;
+
+void SplitModel::record(const std::string &Kernel, mcl::DeviceKind Kind,
+                        Duration Took) {
+  Times &T = Samples[Kernel];
+  if (Kind == mcl::DeviceKind::Cpu)
+    T.CpuSeconds = Took.toSeconds();
+  else
+    T.GpuSeconds = Took.toSeconds();
+}
+
+double SplitModel::gpuFraction(const std::string &Kernel) const {
+  auto It = Samples.find(Kernel);
+  if (It == Samples.end() || It->second.CpuSeconds <= 0 ||
+      It->second.GpuSeconds <= 0)
+    return 1.0; // Untrained: default to the GPU.
+  // Rate-proportional split: rate = 1/time per device.
+  double GpuRate = 1.0 / It->second.GpuSeconds;
+  double CpuRate = 1.0 / It->second.CpuSeconds;
+  return GpuRate / (GpuRate + CpuRate);
+}
+
+bool SplitModel::trained(const std::string &Kernel) const {
+  auto It = Samples.find(Kernel);
+  return It != Samples.end() && It->second.CpuSeconds > 0 &&
+         It->second.GpuSeconds > 0;
+}
+
+ProfiledSplitRuntime::ProfiledSplitRuntime(mcl::Context &Ctx,
+                                           const SplitModel &Model)
+    : HeteroRuntime(Ctx), Model(Model), Body(Ctx, 1.0) {}
+
+BufferId ProfiledSplitRuntime::createBuffer(uint64_t Size,
+                                            std::string DebugName) {
+  return Body.createBuffer(Size, std::move(DebugName));
+}
+
+void ProfiledSplitRuntime::writeBuffer(BufferId Id, const void *Src,
+                                       uint64_t Bytes) {
+  Body.writeBuffer(Id, Src, Bytes);
+}
+
+void ProfiledSplitRuntime::readBuffer(BufferId Id, void *Dst,
+                                      uint64_t Bytes) {
+  Body.readBuffer(Id, Dst, Bytes);
+}
+
+void ProfiledSplitRuntime::launchKernel(const std::string &KernelName,
+                                        const kern::NDRange &Range,
+                                        const std::vector<KArg> &Args) {
+  Body.setGpuFraction(Model.gpuFraction(KernelName));
+  Body.launchKernel(KernelName, Range, Args);
+}
+
+void ProfiledSplitRuntime::finish() { Body.finish(); }

@@ -1,0 +1,99 @@
+//===- sim/Simulator.cpp - Deterministic discrete-event simulator --------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fcl;
+using namespace fcl::sim;
+
+EventId Simulator::scheduleAt(TimePoint At, Callback Fn) {
+  FCL_CHECK(At >= Now, "cannot schedule an event in the past");
+  FCL_CHECK(Fn != nullptr, "cannot schedule a null callback");
+  uint64_t Seq = NextSeq++;
+  Queue.push(Entry{At, Seq});
+  CallbackBySeq.push_back(SeqCallback{Seq, std::move(Fn)});
+  ++Live;
+  return EventId(Seq);
+}
+
+EventId Simulator::scheduleAfter(Duration Delay, Callback Fn) {
+  FCL_CHECK(Delay >= Duration::zero(), "negative delay");
+  return scheduleAt(Now + Delay, std::move(Fn));
+}
+
+Simulator::Callback Simulator::takeCallback(uint64_t Seq) {
+  // CallbackBySeq is sorted by Seq (sequences are handed out in increasing
+  // order), so a binary search finds the slot; the callback is moved out and
+  // the slot tombstoned (empty Fn) to keep the search structure intact.
+  auto It = std::lower_bound(
+      CallbackBySeq.begin(), CallbackBySeq.end(), Seq,
+      [](const SeqCallback &E, uint64_t S) { return E.Seq < S; });
+  if (It == CallbackBySeq.end() || It->Seq != Seq || !It->Fn)
+    return nullptr;
+  Callback Fn = std::move(It->Fn);
+  It->Fn = nullptr;
+  --Live;
+  // Compact tombstones so memory does not grow unboundedly in long
+  // simulations (erase keeps the vector sorted by Seq).
+  if (Live == 0) {
+    CallbackBySeq.clear();
+  } else if (CallbackBySeq.size() > 1024 && Live * 2 < CallbackBySeq.size()) {
+    std::erase_if(CallbackBySeq,
+                  [](const SeqCallback &E) { return E.Fn == nullptr; });
+  }
+  return Fn;
+}
+
+bool Simulator::cancel(EventId Id) {
+  if (!Id.valid())
+    return false;
+  Callback Fn = takeCallback(Id.Seq);
+  return Fn != nullptr;
+}
+
+bool Simulator::step() {
+  while (!Queue.empty()) {
+    Entry Top = Queue.top();
+    Queue.pop();
+    Callback Fn = takeCallback(Top.Seq);
+    if (!Fn)
+      continue; // Cancelled.
+    assert(Top.At >= Now && "event queue went backwards");
+    Now = Top.At;
+    ++Executed;
+    Fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::runUntil(TimePoint Deadline) {
+  FCL_CHECK(Deadline >= Now, "deadline in the past");
+  while (!Queue.empty() && Queue.top().At <= Deadline) {
+    if (!step())
+      break;
+  }
+  Now = Deadline;
+}
+
+bool Simulator::runWhileNot(const std::function<bool()> &Pred) {
+  if (Pred())
+    return true;
+  while (step())
+    if (Pred())
+      return true;
+  return false;
+}

@@ -1,0 +1,121 @@
+//===- sim/Simulator.h - Deterministic discrete-event simulator -*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event simulation core that stands in for wall-clock time and
+/// hardware concurrency. Devices (simulated GPU/CPU), the PCIe link, and the
+/// FluidiCL host-side "threads" are all event-driven state machines scheduled
+/// on a single Simulator, which makes every experiment deterministic and
+/// bit-reproducible.
+///
+/// Events with equal timestamps fire in schedule order (a monotonically
+/// increasing sequence number breaks ties), so there is no ordering
+/// nondeterminism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SIM_SIMULATOR_H
+#define FCL_SIM_SIMULATOR_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fcl {
+namespace sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+class EventId {
+public:
+  EventId() = default;
+
+  bool valid() const { return Seq != 0; }
+  auto operator<=>(const EventId &) const = default;
+
+private:
+  friend class Simulator;
+  explicit EventId(uint64_t Seq) : Seq(Seq) {}
+  uint64_t Seq = 0;
+};
+
+/// A single-threaded discrete-event simulator with a virtual clock.
+class Simulator {
+public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+
+  /// Current virtual time. Advances only inside run()/runUntil()/step().
+  TimePoint now() const { return Now; }
+
+  /// Schedules \p Fn to run at absolute time \p At (>= now()).
+  EventId scheduleAt(TimePoint At, Callback Fn);
+
+  /// Schedules \p Fn to run \p Delay after now().
+  EventId scheduleAfter(Duration Delay, Callback Fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  /// Cancelling an already-fired or already-cancelled event is a no-op.
+  bool cancel(EventId Id);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs events with timestamps <= \p Deadline, then sets now() to
+  /// \p Deadline (if the queue drained earlier).
+  void runUntil(TimePoint Deadline);
+
+  /// Runs until \p Pred() returns true (checked after each event) or the
+  /// queue drains. Returns true if the predicate was satisfied.
+  bool runWhileNot(const std::function<bool()> &Pred);
+
+  /// Fires the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Number of events executed since construction.
+  uint64_t eventsExecuted() const { return Executed; }
+
+  /// Number of events currently pending (including cancelled tombstones).
+  bool hasPending() const { return Live != 0; }
+
+private:
+  struct Entry {
+    TimePoint At;
+    uint64_t Seq;
+    bool operator>(const Entry &RHS) const {
+      if (At != RHS.At)
+        return At > RHS.At;
+      return Seq > RHS.Seq;
+    }
+  };
+
+  // Cancellation uses tombstones: the callback is looked up by sequence
+  // number in CallbackBySeq; cancel() erases the mapping, and popped entries
+  // whose callback is gone are skipped.
+  struct SeqCallback {
+    uint64_t Seq;
+    Callback Fn;
+  };
+
+  Callback takeCallback(uint64_t Seq);
+
+  TimePoint Now;
+  uint64_t NextSeq = 1;
+  uint64_t Executed = 0;
+  uint64_t Live = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Queue;
+  std::vector<SeqCallback> CallbackBySeq; // Sorted by insertion (ascending).
+};
+
+} // namespace sim
+} // namespace fcl
+
+#endif // FCL_SIM_SIMULATOR_H

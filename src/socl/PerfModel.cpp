@@ -1,0 +1,66 @@
+//===- socl/PerfModel.cpp - Calibrated per-kernel performance model -------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "socl/PerfModel.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace fcl;
+using namespace fcl::socl;
+
+void PerfModel::record(const std::string &Kernel, uint64_t Items,
+                       mcl::DeviceKind Kind, Duration Took) {
+  Avg &A = History[Key{Kernel, Items, static_cast<int>(Kind)}];
+  A.SumNanos += static_cast<double>(Took.nanos());
+  ++A.Count;
+  ++Samples;
+}
+
+std::optional<Duration> PerfModel::estimate(const std::string &Kernel,
+                                            uint64_t Items,
+                                            mcl::DeviceKind Kind) const {
+  auto Exact = History.find(Key{Kernel, Items, static_cast<int>(Kind)});
+  if (Exact != History.end())
+    return Duration::nanoseconds(static_cast<int64_t>(
+        Exact->second.SumNanos / static_cast<double>(Exact->second.Count)));
+
+  // Nearest size for this kernel/device, scaled linearly in item count
+  // (the regression-based models StarPU builds from multiple input sizes).
+  const Avg *Best = nullptr;
+  uint64_t BestItems = 0;
+  for (const auto &[K, A] : History) {
+    if (K.Kernel != Kernel || K.Kind != static_cast<int>(Kind))
+      continue;
+    if (!Best || std::llabs(static_cast<long long>(K.Items) -
+                            static_cast<long long>(Items)) <
+                     std::llabs(static_cast<long long>(BestItems) -
+                                static_cast<long long>(Items))) {
+      Best = &A;
+      BestItems = K.Items;
+    }
+  }
+  if (!Best)
+    return std::nullopt;
+  double AvgNanos = Best->SumNanos / static_cast<double>(Best->Count);
+  double Scaled = AvgNanos * static_cast<double>(Items) /
+                  static_cast<double>(BestItems ? BestItems : 1);
+  return Duration::nanoseconds(static_cast<int64_t>(Scaled));
+}
+
+bool PerfModel::calibrated(const std::string &Kernel) const {
+  bool HasCpu = false, HasGpu = false;
+  for (const auto &[K, A] : History) {
+    (void)A;
+    if (K.Kernel != Kernel)
+      continue;
+    if (K.Kind == static_cast<int>(mcl::DeviceKind::Cpu))
+      HasCpu = true;
+    else
+      HasGpu = true;
+  }
+  return HasCpu && HasGpu;
+}

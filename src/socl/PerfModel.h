@@ -1,0 +1,70 @@
+//===- socl/PerfModel.h - Calibrated per-kernel performance model *- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The history-based performance model behind the StarPU/SOCL "dmda"
+/// scheduler the paper compares against (section 9.4): per (kernel, input
+/// size, device) average execution times collected during explicit
+/// calibration runs, queried later to place each task on the device with
+/// the earliest estimated completion. This is exactly the
+/// profiling/calibration burden FluidiCL avoids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SOCL_PERFMODEL_H
+#define FCL_SOCL_PERFMODEL_H
+
+#include "mcl/Device.h"
+#include "support/SimTime.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fcl {
+namespace socl {
+
+/// History-based execution-time model, keyed by kernel name, total
+/// work-items, and device kind.
+class PerfModel {
+public:
+  /// Records one measured execution.
+  void record(const std::string &Kernel, uint64_t Items,
+              mcl::DeviceKind Kind, Duration Took);
+
+  /// Estimated execution time. Exact-size history is preferred; otherwise
+  /// the nearest recorded size is scaled linearly in the item count.
+  /// Empty when no history exists for this kernel/device.
+  std::optional<Duration> estimate(const std::string &Kernel, uint64_t Items,
+                                   mcl::DeviceKind Kind) const;
+
+  /// True when \p Kernel has history on both devices for some size.
+  bool calibrated(const std::string &Kernel) const;
+
+  /// Number of recorded samples (all keys).
+  uint64_t sampleCount() const { return Samples; }
+
+private:
+  struct Key {
+    std::string Kernel;
+    uint64_t Items;
+    int Kind;
+    auto operator<=>(const Key &) const = default;
+  };
+  struct Avg {
+    double SumNanos = 0;
+    uint64_t Count = 0;
+  };
+
+  std::map<Key, Avg> History;
+  uint64_t Samples = 0;
+};
+
+} // namespace socl
+} // namespace fcl
+
+#endif // FCL_SOCL_PERFMODEL_H

@@ -1,0 +1,16 @@
+//===- support/Error.cpp - Fatal errors ----------------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void fcl::fatalError(const char *File, int Line, const char *Message) {
+  std::fprintf(stderr, "fatal error: %s:%d: %s\n", File, Line, Message);
+  std::fflush(stderr);
+  std::abort();
+}

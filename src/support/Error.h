@@ -1,0 +1,37 @@
+//===- support/Error.h - Fatal errors and unreachable markers -*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers. The library follows the LLVM convention:
+/// invariant violations abort at the point of failure with a diagnostic.
+/// Recoverable conditions are reported through return values instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SUPPORT_ERROR_H
+#define FCL_SUPPORT_ERROR_H
+
+namespace fcl {
+
+/// Prints \p Message (with file/line context) to stderr and aborts.
+[[noreturn]] void fatalError(const char *File, int Line, const char *Message);
+
+} // namespace fcl
+
+/// Aborts with a diagnostic; use for states that indicate a bug.
+#define FCL_FATAL(Msg) ::fcl::fatalError(__FILE__, __LINE__, (Msg))
+
+/// Marks control flow that must never be reached.
+#define FCL_UNREACHABLE(Msg) ::fcl::fatalError(__FILE__, __LINE__, (Msg))
+
+/// Checks an invariant in all build modes (unlike assert).
+#define FCL_CHECK(Cond, Msg)                                                   \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::fcl::fatalError(__FILE__, __LINE__, (Msg));                            \
+  } while (false)
+
+#endif // FCL_SUPPORT_ERROR_H

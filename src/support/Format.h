@@ -1,0 +1,32 @@
+//===- support/Format.h - printf-style string formatting ------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers returning std::string. Used instead
+/// of iostreams throughout the library (iostream is avoided per the LLVM
+/// coding standards this project follows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SUPPORT_FORMAT_H
+#define FCL_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace fcl {
+
+/// Formats like vsnprintf into a std::string.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Formats like snprintf into a std::string.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string formatString(const char *Fmt, ...);
+
+} // namespace fcl
+
+#endif // FCL_SUPPORT_FORMAT_H

@@ -1,0 +1,51 @@
+//===- support/Log.cpp - Leveled diagnostics logging ----------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace fcl;
+
+static LogLevel parseEnvLevel() {
+  const char *Env = std::getenv("FCL_LOG");
+  if (!Env)
+    return LogLevel::Warn;
+  if (std::strcmp(Env, "debug") == 0)
+    return LogLevel::Debug;
+  if (std::strcmp(Env, "info") == 0)
+    return LogLevel::Info;
+  if (std::strcmp(Env, "silent") == 0)
+    return LogLevel::Silent;
+  return LogLevel::Warn;
+}
+
+static LogLevel &currentLevel() {
+  static LogLevel Level = parseEnvLevel();
+  return Level;
+}
+
+void fcl::setLogLevel(LogLevel Level) { currentLevel() = Level; }
+
+LogLevel fcl::logLevel() { return currentLevel(); }
+
+void fcl::logMessage(LogLevel Level, const char *Fmt, ...) {
+  if (static_cast<int>(Level) > static_cast<int>(currentLevel()))
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Body = formatStringV(Fmt, Args);
+  va_end(Args);
+  const char *Tag = Level == LogLevel::Debug  ? "debug"
+                    : Level == LogLevel::Info ? "info"
+                                              : "warn";
+  std::fprintf(stderr, "[fcl:%s] %s\n", Tag, Body.c_str());
+}

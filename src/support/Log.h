@@ -1,0 +1,46 @@
+//===- support/Log.h - Leveled diagnostics logging -------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime-switchable diagnostic logging to stderr. The FluidiCL scheduler
+/// logs its work-distribution decisions at the Debug level so experiments
+/// can be traced (set FCL_LOG=debug or call setLogLevel).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SUPPORT_LOG_H
+#define FCL_SUPPORT_LOG_H
+
+namespace fcl {
+
+enum class LogLevel {
+  Silent = 0,
+  Warn = 1,
+  Info = 2,
+  Debug = 3,
+};
+
+/// Sets the process-wide log threshold.
+void setLogLevel(LogLevel Level);
+
+/// Returns the current threshold; initialized once from the FCL_LOG
+/// environment variable ("silent", "warn", "info", "debug").
+LogLevel logLevel();
+
+/// Emits a printf-style message to stderr if \p Level is enabled.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logMessage(LogLevel Level, const char *Fmt, ...);
+
+} // namespace fcl
+
+#define FCL_LOG_DEBUG(...)                                                     \
+  ::fcl::logMessage(::fcl::LogLevel::Debug, __VA_ARGS__)
+#define FCL_LOG_INFO(...) ::fcl::logMessage(::fcl::LogLevel::Info, __VA_ARGS__)
+#define FCL_LOG_WARN(...) ::fcl::logMessage(::fcl::LogLevel::Warn, __VA_ARGS__)
+
+#endif // FCL_SUPPORT_LOG_H

@@ -1,0 +1,67 @@
+//===- support/Rng.h - Deterministic random number generator --*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64-seeded xorshift128+).
+/// Used for workload data initialization and property-style tests; the
+/// simulator itself never consumes randomness, so runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SUPPORT_RNG_H
+#define FCL_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace fcl {
+
+/// Deterministic 64-bit PRNG with explicit seeding.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the xorshift state.
+    State[0] = splitMix(Seed);
+    State[1] = splitMix(Seed);
+  }
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns a uniform float in [Lo, Hi).
+  double nextInRange(double Lo, double Hi) {
+    return Lo + nextDouble() * (Hi - Lo);
+  }
+
+private:
+  uint64_t splitMix(uint64_t &Z) {
+    Z += 0x9E3779B97F4A7C15ull;
+    uint64_t R = Z;
+    R = (R ^ (R >> 30)) * 0xBF58476D1CE4E5B9ull;
+    R = (R ^ (R >> 27)) * 0x94D049BB133111EBull;
+    return R ^ (R >> 31);
+  }
+
+  uint64_t State[2];
+};
+
+} // namespace fcl
+
+#endif // FCL_SUPPORT_RNG_H

@@ -1,0 +1,54 @@
+//===- support/Table.cpp - Aligned console table printer -----------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Error.h"
+
+using namespace fcl;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  FCL_CHECK(Cells.size() == Header.size(), "table row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Out += Row[I];
+      if (I + 1 == Row.size())
+        break;
+      Out.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}

@@ -1,0 +1,45 @@
+//===- support/Table.h - Aligned console table printer --------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny aligned-column table builder used by the bench harnesses to print
+/// the paper's tables and figure series in a readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SUPPORT_TABLE_H
+#define FCL_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fcl {
+
+/// Collects rows of strings and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string render() const;
+
+  /// Prints the rendered table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace fcl
+
+#endif // FCL_SUPPORT_TABLE_H

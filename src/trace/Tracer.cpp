@@ -1,0 +1,103 @@
+//===- trace/Tracer.cpp - Execution tracing ---------------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Tracer.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace fcl;
+using namespace fcl::trace;
+
+void Tracer::record(std::string Lane, std::string Name, TimePoint Start,
+                    TimePoint End, std::string Detail) {
+  FCL_CHECK(End >= Start, "trace slice ends before it starts");
+  TraceEvent E;
+  E.Lane = std::move(Lane);
+  E.Name = std::move(Name);
+  E.Detail = std::move(Detail);
+  E.Start = Start;
+  E.End = End;
+  Events.push_back(std::move(E));
+}
+
+std::vector<TraceEvent> Tracer::laneEvents(const std::string &Lane) const {
+  std::vector<TraceEvent> Out;
+  for (const TraceEvent &E : Events)
+    if (E.Lane == Lane)
+      Out.push_back(E);
+  return Out;
+}
+
+Duration Tracer::laneBusy(const std::string &Lane) const {
+  Duration Busy = Duration::zero();
+  for (const TraceEvent &E : Events)
+    if (E.Lane == Lane)
+      Busy += E.duration();
+  return Busy;
+}
+
+static std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatString("\\u%04x", C);
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+std::string Tracer::renderChromeTrace() const {
+  // Stable lane -> tid mapping in first-appearance order.
+  std::map<std::string, int> LaneIds;
+  std::vector<std::string> LaneOrder;
+  for (const TraceEvent &E : Events)
+    if (LaneIds.emplace(E.Lane, static_cast<int>(LaneIds.size())).second)
+      LaneOrder.push_back(E.Lane);
+
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (const std::string &Lane : LaneOrder) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString("{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                        "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                        LaneIds[Lane], escapeJson(Lane).c_str());
+  }
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString(
+        "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"detail\":\"%s\"}}",
+        LaneIds[E.Lane], escapeJson(E.Name).c_str(),
+        static_cast<double>(E.Start.nanos()) / 1000.0,
+        static_cast<double>(E.duration().nanos()) / 1000.0,
+        escapeJson(E.Detail).c_str());
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Text = renderChromeTrace();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}

@@ -1,0 +1,73 @@
+//===- trace/Tracer.h - Execution tracing -----------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records what every simulated resource (GPU, CPU, PCIe directions, host)
+/// is doing over virtual time and exports the timeline in the Chrome
+/// tracing JSON format (open chrome://tracing or https://ui.perfetto.dev
+/// and load the file). Attach a Tracer to an mcl::Context and every queue
+/// command - kernel launches, CPU subkernels, data/status transfers,
+/// merges, DH reads - shows up as a slice on its resource's lane, which
+/// makes FluidiCL's cooperative schedule directly visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_TRACE_TRACER_H
+#define FCL_TRACE_TRACER_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace trace {
+
+/// One completed slice on a resource lane.
+struct TraceEvent {
+  std::string Lane;
+  std::string Name;
+  std::string Detail; // Free-form note shown in the trace viewer args.
+  TimePoint Start;
+  TimePoint End;
+
+  Duration duration() const { return End - Start; }
+};
+
+/// Collects slices and renders them as a Chrome trace.
+class Tracer {
+public:
+  /// Records a slice; \p End must not precede \p Start.
+  void record(std::string Lane, std::string Name, TimePoint Start,
+              TimePoint End, std::string Detail = std::string());
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  size_t size() const { return Events.size(); }
+  void clear() { Events.clear(); }
+
+  /// Events on one lane, in record order.
+  std::vector<TraceEvent> laneEvents(const std::string &Lane) const;
+
+  /// Busy time (sum of slice durations) of one lane.
+  Duration laneBusy(const std::string &Lane) const;
+
+  /// Renders the Chrome tracing JSON ("traceEvents" array of "X" slices,
+  /// one tid per lane, microsecond timestamps).
+  std::string renderChromeTrace() const;
+
+  /// Writes the Chrome trace to \p Path; false if the file cannot be
+  /// written.
+  bool writeChromeTrace(const std::string &Path) const;
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+} // namespace trace
+} // namespace fcl
+
+#endif // FCL_TRACE_TRACER_H

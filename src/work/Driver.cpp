@@ -1,0 +1,229 @@
+//===- work/Driver.cpp - Experiment driver ----------------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "work/Driver.h"
+
+#include "fluidicl/Runtime.h"
+#include "kern/Registry.h"
+#include "runtime/SingleDevice.h"
+#include "runtime/ProfiledSplit.h"
+#include "runtime/StaticPartition.h"
+#include "socl/SoclRuntime.h"
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace fcl;
+using namespace fcl::work;
+
+std::vector<std::vector<std::byte>> fcl::work::initHostData(const Workload &W) {
+  std::vector<std::vector<std::byte>> Bufs;
+  Bufs.reserve(W.Buffers.size());
+  for (size_t I = 0; I < W.Buffers.size(); ++I) {
+    const BufferSpec &Spec = W.Buffers[I];
+    std::vector<std::byte> Data(Spec.Bytes);
+    Rng R(0xC0FFEE ^ (static_cast<uint64_t>(I) * 0x9E3779B9u));
+    auto *F = reinterpret_cast<float *>(Data.data());
+    for (uint64_t J = 0; J < Spec.Bytes / sizeof(float); ++J)
+      F[J] = static_cast<float>(R.nextInRange(0.05, 1.0));
+    Bufs.push_back(std::move(Data));
+  }
+  return Bufs;
+}
+
+void fcl::work::computeReference(const Workload &W,
+                                 std::vector<std::vector<std::byte>> &HostBufs) {
+  FCL_CHECK(HostBufs.size() == W.Buffers.size(), "buffer count mismatch");
+  for (const KernelCall &Call : W.Calls) {
+    const kern::KernelInfo &Kernel =
+        kern::Registry::builtin().get(Call.Kernel);
+    std::vector<kern::ArgValue> Values;
+    for (const runtime::KArg &A : Call.Args) {
+      if (A.IsBuffer) {
+        std::vector<std::byte> &B = HostBufs[A.Buf];
+        Values.push_back(kern::ArgValue::buffer(B.data(), B.size()));
+      } else {
+        kern::ArgValue V;
+        V.IntValue = A.IntValue;
+        V.FpValue = A.FpValue;
+        Values.push_back(V);
+      }
+    }
+    kern::ArgsView Args(std::move(Values));
+    std::vector<std::byte> Scratch(Kernel.LocalBytes);
+    kern::Dim3 Groups = Call.Range.numGroups();
+    uint64_t Items = Call.Range.itemsPerGroup();
+    for (uint64_t Flat = 0; Flat < Call.Range.totalGroups(); ++Flat) {
+      if (!Scratch.empty())
+        std::fill(Scratch.begin(), Scratch.end(), std::byte{0});
+      kern::executeWorkGroup(Kernel, Call.Range,
+                             kern::unflattenGroupId(Flat, Groups), Args, 0,
+                             Items, Scratch.empty() ? nullptr : Scratch.data());
+    }
+  }
+}
+
+RunResult fcl::work::runWorkload(runtime::HeteroRuntime &RT, const Workload &W,
+                                 bool Validate) {
+  mcl::Context &Ctx = RT.context();
+  bool Functional = Ctx.functional();
+
+  std::vector<std::vector<std::byte>> Host;
+  if (Functional)
+    Host = initHostData(W);
+
+  TimePoint Start = RT.now();
+
+  std::vector<runtime::BufferId> Ids;
+  for (size_t I = 0; I < W.Buffers.size(); ++I)
+    Ids.push_back(RT.createBuffer(W.Buffers[I].Bytes, W.Buffers[I].Name));
+  for (size_t I = 0; I < W.Buffers.size(); ++I)
+    RT.writeBuffer(Ids[I], Functional ? Host[I].data() : nullptr,
+                   W.Buffers[I].Bytes);
+
+  for (const KernelCall &Call : W.Calls) {
+    // Remap workload-local buffer indices to runtime buffer ids.
+    std::vector<runtime::KArg> Args = Call.Args;
+    for (runtime::KArg &A : Args)
+      if (A.IsBuffer)
+        A.Buf = Ids[A.Buf];
+    RT.launchKernel(Call.Kernel, Call.Range, Args);
+  }
+
+  std::vector<std::vector<std::byte>> Results;
+  for (size_t RIdx : W.ResultBuffers) {
+    std::vector<std::byte> Out;
+    if (Functional)
+      Out.resize(W.Buffers[RIdx].Bytes);
+    RT.readBuffer(Ids[RIdx], Functional ? Out.data() : nullptr,
+                  W.Buffers[RIdx].Bytes);
+    Results.push_back(std::move(Out));
+  }
+
+  // Total running time ends when the application has its results (as the
+  // paper measures); draining trailing cooperative work (e.g. a CPU
+  // subkernel whose results the GPU already produced) happens afterwards.
+  RunResult Res;
+  Res.RuntimeName = RT.name();
+  Res.Total = RT.now() - Start;
+  RT.finish();
+
+  if (Validate && Functional) {
+    computeReference(W, Host);
+    Res.Validated = true;
+    Res.Valid = true;
+    for (size_t R = 0; R < W.ResultBuffers.size(); ++R) {
+      const auto *Got = reinterpret_cast<const float *>(Results[R].data());
+      const auto *Want =
+          reinterpret_cast<const float *>(Host[W.ResultBuffers[R]].data());
+      uint64_t Count = Results[R].size() / sizeof(float);
+      for (uint64_t J = 0; J < Count; ++J) {
+        double Err = std::fabs(static_cast<double>(Got[J]) - Want[J]);
+        if (Err > Res.MaxAbsError)
+          Res.MaxAbsError = Err;
+        // Identical operation order on every path: results must agree to
+        // tiny float noise (merge copies bytes verbatim).
+        double Tol = 1e-5 + 1e-5 * std::fabs(Want[J]);
+        if (Err > Tol)
+          Res.Valid = false;
+      }
+    }
+  }
+  return Res;
+}
+
+Duration fcl::work::timeUnder(RuntimeKind K, const Workload &W,
+                              const RunConfig &C) {
+  switch (K) {
+  case RuntimeKind::CpuOnly: {
+    mcl::Context Ctx(C.M, C.Mode);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
+    return runWorkload(RT, W, false).Total;
+  }
+  case RuntimeKind::GpuOnly: {
+    mcl::Context Ctx(C.M, C.Mode);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Gpu);
+    return runWorkload(RT, W, false).Total;
+  }
+  case RuntimeKind::FluidiCL: {
+    mcl::Context Ctx(C.M, C.Mode);
+    fluidicl::Runtime RT(Ctx, C.FclOpts);
+    return runWorkload(RT, W, false).Total;
+  }
+  case RuntimeKind::SoclEager: {
+    socl::PerfModel Model;
+    mcl::Context Ctx(C.M, C.Mode);
+    socl::SoclRuntime RT(Ctx, socl::Policy::Eager, Model);
+    return runWorkload(RT, W, false).Total;
+  }
+  case RuntimeKind::SoclDmda: {
+    socl::PerfModel Model;
+    for (int I = 0; I < C.DmdaCalibrationRuns; ++I) {
+      mcl::Context Ctx(C.M, C.Mode);
+      socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model,
+                           /*Calibrating=*/true,
+                           /*TaskSeed=*/static_cast<uint64_t>(I));
+      runWorkload(RT, W, false);
+    }
+    mcl::Context Ctx(C.M, C.Mode);
+    socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model);
+    return runWorkload(RT, W, false).Total;
+  }
+  }
+  FCL_UNREACHABLE("covered switch");
+}
+
+Duration fcl::work::timeStaticPartition(const Workload &W, double GpuFraction,
+                                        const RunConfig &C) {
+  mcl::Context Ctx(C.M, C.Mode);
+  runtime::StaticPartitionRuntime RT(Ctx, GpuFraction);
+  return runWorkload(RT, W, false).Total;
+}
+
+Duration fcl::work::oracleStaticPartition(const Workload &W,
+                                          const RunConfig &C, int StepPct,
+                                          double *BestFraction) {
+  FCL_CHECK(StepPct > 0 && StepPct <= 100, "bad oracle step");
+  Duration Best = Duration::nanoseconds(INT64_MAX);
+  double BestFrac = 0;
+  for (int Pct = 0; Pct <= 100; Pct += StepPct) {
+    Duration T = timeStaticPartition(W, Pct / 100.0, C);
+    if (T < Best) {
+      Best = T;
+      BestFrac = Pct / 100.0;
+    }
+  }
+  if (BestFraction)
+    *BestFraction = BestFrac;
+  return Best;
+}
+
+void fcl::work::trainSplitModel(const Workload &W, const hw::Machine &M,
+                                runtime::SplitModel &Model) {
+  for (int D = 0; D < 2; ++D) {
+    mcl::DeviceKind Kind =
+        D == 0 ? mcl::DeviceKind::Cpu : mcl::DeviceKind::Gpu;
+    mcl::Context Ctx(M, mcl::ExecMode::TimingOnly);
+    runtime::SingleDeviceRuntime RT(Ctx, Kind);
+    for (size_t B = 0; B < W.Buffers.size(); ++B)
+      RT.createBuffer(W.Buffers[B].Bytes, W.Buffers[B].Name);
+    for (const KernelCall &Call : W.Calls)
+      Model.record(Call.Kernel, Kind,
+                   RT.kernelOnlyDuration(Call.Kernel, Call.Range, Call.Args));
+  }
+}
+
+Duration fcl::work::timeProfiledSplit(const Workload &W,
+                                      const Workload &TrainW,
+                                      const RunConfig &C) {
+  runtime::SplitModel Model;
+  trainSplitModel(TrainW, C.M, Model);
+  mcl::Context Ctx(C.M, C.Mode);
+  runtime::ProfiledSplitRuntime RT(Ctx, Model);
+  return runWorkload(RT, W, false).Total;
+}

@@ -1,0 +1,107 @@
+//===- work/Driver.h - Experiment driver ------------------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a Workload under any runtime on a fresh simulated machine and
+/// reports the total running time (including all data transfers, as the
+/// paper measures; platform initialization is excluded). Also provides the
+/// comparison helpers every bench harness uses: CPU-only/GPU-only
+/// baselines, static-partition sweeps (OracleSP), FluidiCL with arbitrary
+/// options, and calibrated SOCL runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_WORK_DRIVER_H
+#define FCL_WORK_DRIVER_H
+
+#include "fluidicl/Options.h"
+#include "runtime/ProfiledSplit.h"
+#include "hw/Machine.h"
+#include "mcl/Context.h"
+#include "work/Workload.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace work {
+
+/// Outcome of one application run.
+struct RunResult {
+  std::string RuntimeName;
+  /// Total running time: buffer setup + transfers + kernels + readback.
+  Duration Total;
+  /// Whether functional validation was performed and its outcome.
+  bool Validated = false;
+  bool Valid = false;
+  double MaxAbsError = 0;
+};
+
+/// Deterministic pseudo-random host data for every buffer of \p W.
+std::vector<std::vector<std::byte>> initHostData(const Workload &W);
+
+/// Executes \p W's kernel sequence directly on \p HostBufs (the reference
+/// a correct runtime must match bit-for-bit up to float associativity -
+/// our kernels are executed with identical operation order everywhere, so
+/// the match is exact).
+void computeReference(const Workload &W,
+                      std::vector<std::vector<std::byte>> &HostBufs);
+
+/// Runs \p W under \p RT; validates read-back results against the host
+/// reference when \p Validate and the context is functional.
+RunResult runWorkload(runtime::HeteroRuntime &RT, const Workload &W,
+                      bool Validate);
+
+/// Which runtime to construct for a timed run.
+enum class RuntimeKind {
+  CpuOnly,
+  GpuOnly,
+  FluidiCL,
+  SoclEager,
+  SoclDmda,
+};
+
+/// Configuration for timed comparison runs.
+struct RunConfig {
+  hw::Machine M = hw::paperMachine();
+  mcl::ExecMode Mode = mcl::ExecMode::TimingOnly;
+  fluidicl::Options FclOpts;
+  /// Calibration runs before the measured SOCL-dmda run (the paper uses
+  /// at least 10).
+  int DmdaCalibrationRuns = 10;
+};
+
+/// Total running time of \p W under runtime \p K on a fresh machine.
+Duration timeUnder(RuntimeKind K, const Workload &W,
+                   const RunConfig &C = RunConfig());
+
+/// Total running time under a manual static partition at \p GpuFraction.
+Duration timeStaticPartition(const Workload &W, double GpuFraction,
+                             const RunConfig &C = RunConfig());
+
+/// Best static partition over fractions 0, Step, 2*Step, ..., 100 percent
+/// (the OracleSP bar). Reports the winning fraction via \p BestFraction.
+Duration oracleStaticPartition(const Workload &W,
+                               const RunConfig &C = RunConfig(),
+                               int StepPct = 10,
+                               double *BestFraction = nullptr);
+
+/// Qilin-style training pass: measures each of \p W's kernels on both
+/// devices of a fresh machine and records the rates into \p Model.
+void trainSplitModel(const Workload &W, const hw::Machine &M,
+                     runtime::SplitModel &Model);
+
+/// Total running time of \p W under the Qilin-style profiled splitter
+/// (training on \p TrainW, which may differ from W to expose the scheme's
+/// input-sensitivity).
+Duration timeProfiledSplit(const Workload &W, const Workload &TrainW,
+                           const RunConfig &C = RunConfig());
+
+} // namespace work
+} // namespace fcl
+
+#endif // FCL_WORK_DRIVER_H

@@ -1,0 +1,299 @@
+//===- work/Polybench.cpp - The six paper benchmarks -----------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "work/Workload.h"
+
+#include "kern/polybench/PolybenchKernels.h"
+#include "support/Format.h"
+
+using namespace fcl;
+using namespace fcl::work;
+using namespace fcl::kern::poly;
+using runtime::KArg;
+
+Workload fcl::work::makeAtax(int64_t NX, int64_t NY) {
+  Workload W;
+  W.Name = formatString("ATAX(%lld)", static_cast<long long>(NX));
+  W.Summary = "y = A^T (A x); kernel 1 row walk, kernel 2 column walk";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(NX * NY) * F},
+      {"x", static_cast<uint64_t>(NY) * F},
+      {"tmp", static_cast<uint64_t>(NX) * F},
+      {"y", static_cast<uint64_t>(NY) * F},
+  };
+  W.Calls = {
+      {"atax_kernel1", kern::NDRange::of1D(static_cast<uint64_t>(NX), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::i64(NX),
+        KArg::i64(NY)}},
+      {"atax_kernel2", kern::NDRange::of1D(static_cast<uint64_t>(NY), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(2), KArg::buffer(3), KArg::i64(NX),
+        KArg::i64(NY)}},
+  };
+  W.ResultBuffers = {3};
+  return W;
+}
+
+Workload fcl::work::makeBicg(int64_t NX, int64_t NY) {
+  Workload W;
+  W.Name = formatString("BICG(%lld)", static_cast<long long>(NX));
+  W.Summary = "q = A p and s = A^T r; the kernels prefer different devices";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(NX * NY) * F},
+      {"p", static_cast<uint64_t>(NY) * F},
+      {"q", static_cast<uint64_t>(NX) * F},
+      {"r", static_cast<uint64_t>(NX) * F},
+      {"s", static_cast<uint64_t>(NY) * F},
+  };
+  W.Calls = {
+      {"bicg_kernel1", kern::NDRange::of1D(static_cast<uint64_t>(NX), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::i64(NX),
+        KArg::i64(NY)}},
+      {"bicg_kernel2", kern::NDRange::of1D(static_cast<uint64_t>(NY), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(3), KArg::buffer(4), KArg::i64(NX),
+        KArg::i64(NY)}},
+  };
+  W.ResultBuffers = {2, 4};
+  return W;
+}
+
+Workload fcl::work::makeCorr(int64_t N, int64_t M) {
+  Workload W;
+  W.Name = formatString("CORR(%lld)", static_cast<long long>(N));
+  W.Summary = "correlation matrix: mean, std, center, pairwise dot kernels";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"data", static_cast<uint64_t>(N * M) * F},
+      {"mean", static_cast<uint64_t>(M) * F},
+      {"std", static_cast<uint64_t>(M) * F},
+      {"corr", static_cast<uint64_t>(M * M) * F},
+  };
+  W.Calls = {
+      {"corr_mean_kernel",
+       kern::NDRange::of1D(static_cast<uint64_t>(M), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::i64(N), KArg::i64(M)}},
+      {"corr_std_kernel",
+       kern::NDRange::of1D(static_cast<uint64_t>(M), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::i64(N),
+        KArg::i64(M)}},
+      {"corr_center_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(M), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::i64(N),
+        KArg::i64(M)}},
+      {"corr_corr_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(M), static_cast<uint64_t>(M),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(3), KArg::i64(N), KArg::i64(M)}},
+  };
+  W.ResultBuffers = {3};
+  return W;
+}
+
+Workload fcl::work::makeGesummv(int64_t N) {
+  Workload W;
+  W.Name = formatString("GESUMMV(%lld)", static_cast<long long>(N));
+  W.Summary = "y = alpha A x + beta B x; CPU-friendly single kernel";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(N * N) * F},
+      {"B", static_cast<uint64_t>(N * N) * F},
+      {"x", static_cast<uint64_t>(N) * F},
+      {"y", static_cast<uint64_t>(N) * F},
+  };
+  W.Calls = {
+      {"gesummv_kernel",
+       kern::NDRange::of1D(static_cast<uint64_t>(N), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::buffer(3),
+        KArg::f64(1.5), KArg::f64(1.2), KArg::i64(N)}},
+  };
+  W.ResultBuffers = {3};
+  return W;
+}
+
+Workload fcl::work::makeSyrk(int64_t N, int64_t M) {
+  Workload W;
+  W.Name = formatString("SYRK(%lld)", static_cast<long long>(N));
+  W.Summary = "C = alpha A A^T + beta C; comparable CPU/GPU speed";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(N * M) * F},
+      {"C", static_cast<uint64_t>(N * N) * F},
+  };
+  W.Calls = {
+      {"syrk_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(N), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::f64(1.3), KArg::f64(0.7),
+        KArg::i64(N), KArg::i64(M)}},
+  };
+  W.ResultBuffers = {1};
+  return W;
+}
+
+Workload fcl::work::makeSyr2k(int64_t N, int64_t M) {
+  Workload W;
+  W.Name = formatString("SYR2K(%lld)", static_cast<long long>(N));
+  W.Summary = "C = alpha(A B^T + B A^T) + beta C";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(N * M) * F},
+      {"B", static_cast<uint64_t>(N * M) * F},
+      {"C", static_cast<uint64_t>(N * N) * F},
+  };
+  W.Calls = {
+      {"syr2k_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(N), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::f64(1.1),
+        KArg::f64(0.6), KArg::i64(N), KArg::i64(M)}},
+  };
+  W.ResultBuffers = {2};
+  return W;
+}
+
+std::vector<Workload> fcl::work::paperSuite() {
+  // Input sizes reconstructed from (OCR-damaged) Table 2; see DESIGN.md.
+  return {
+      makeAtax(8192, 8192), makeBicg(4096, 4096),   makeCorr(2048, 2048),
+      makeGesummv(4096),    makeSyrk(1024, 1024),   makeSyr2k(1536, 1536),
+  };
+}
+
+std::vector<Workload> fcl::work::testSuite() {
+  return {
+      makeAtax(256, 256), makeBicg(192, 192), makeCorr(128, 128),
+      makeGesummv(192),   makeSyrk(128, 128), makeSyr2k(96, 96),
+  };
+}
+
+Workload fcl::work::makeMvt(int64_t N) {
+  Workload W;
+  W.Name = formatString("MVT(%lld)", static_cast<long long>(N));
+  W.Summary = "x1 += A y1 and x2 += A^T y2; opposite access patterns";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(N * N) * F},
+      {"y1", static_cast<uint64_t>(N) * F},
+      {"x1", static_cast<uint64_t>(N) * F},
+      {"y2", static_cast<uint64_t>(N) * F},
+      {"x2", static_cast<uint64_t>(N) * F},
+  };
+  W.Calls = {
+      {"mvt_kernel1", kern::NDRange::of1D(static_cast<uint64_t>(N), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::i64(N)}},
+      {"mvt_kernel2", kern::NDRange::of1D(static_cast<uint64_t>(N), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(3), KArg::buffer(4), KArg::i64(N)}},
+  };
+  W.ResultBuffers = {2, 4};
+  return W;
+}
+
+Workload fcl::work::makeGemm(int64_t NI, int64_t NJ, int64_t NK) {
+  Workload W;
+  W.Name = formatString("GEMM(%lld)", static_cast<long long>(NI));
+  W.Summary = "C = alpha A B + beta C";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"A", static_cast<uint64_t>(NI * NK) * F},
+      {"B", static_cast<uint64_t>(NK * NJ) * F},
+      {"C", static_cast<uint64_t>(NI * NJ) * F},
+  };
+  W.Calls = {
+      {"gemm_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(NJ),
+                           static_cast<uint64_t>(NI), WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::f64(1.4),
+        KArg::f64(0.8), KArg::i64(NI), KArg::i64(NJ), KArg::i64(NK)}},
+  };
+  W.ResultBuffers = {2};
+  return W;
+}
+
+Workload fcl::work::make2mm(int64_t N) {
+  Workload W;
+  W.Name = formatString("2MM(%lld)", static_cast<long long>(N));
+  W.Summary = "tmp = A B; D = tmp C (two chained GEMMs)";
+  uint64_t F = sizeof(float);
+  uint64_t NN = static_cast<uint64_t>(N * N) * F;
+  W.Buffers = {
+      {"A", NN}, {"B", NN}, {"tmp", NN}, {"C", NN}, {"D", NN},
+  };
+  // beta = 0 for the first product so tmp's initial content is irrelevant.
+  W.Calls = {
+      {"gemm_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(N), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::buffer(2), KArg::f64(1.0),
+        KArg::f64(0.0), KArg::i64(N), KArg::i64(N), KArg::i64(N)}},
+      {"gemm_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(N), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(2), KArg::buffer(3), KArg::buffer(4), KArg::f64(1.0),
+        KArg::f64(0.0), KArg::i64(N), KArg::i64(N), KArg::i64(N)}},
+  };
+  W.ResultBuffers = {4};
+  return W;
+}
+
+Workload fcl::work::make3mm(int64_t N) {
+  Workload W;
+  W.Name = formatString("3MM(%lld)", static_cast<long long>(N));
+  W.Summary = "E = A B; F = C D; G = E F (three chained GEMMs)";
+  uint64_t NN = static_cast<uint64_t>(N * N) * sizeof(float);
+  W.Buffers = {{"A", NN}, {"B", NN}, {"C", NN}, {"D", NN},
+               {"E", NN}, {"F", NN}, {"G", NN}};
+  kern::NDRange Range = kern::NDRange::of2D(
+      static_cast<uint64_t>(N), static_cast<uint64_t>(N), WgSizeX2D,
+      WgSizeY2D);
+  auto Product = [&](uint32_t L, uint32_t Rhs, uint32_t Out) {
+    return KernelCall{"gemm_kernel", Range,
+                      {KArg::buffer(L), KArg::buffer(Rhs), KArg::buffer(Out),
+                       KArg::f64(1.0), KArg::f64(0.0), KArg::i64(N),
+                       KArg::i64(N), KArg::i64(N)}};
+  };
+  W.Calls = {Product(0, 1, 4), Product(2, 3, 5), Product(4, 5, 6)};
+  W.ResultBuffers = {6};
+  return W;
+}
+
+Workload fcl::work::makeCovar(int64_t N, int64_t M) {
+  Workload W;
+  W.Name = formatString("COVAR(%lld)", static_cast<long long>(N));
+  W.Summary = "covariance matrix: mean, center, pairwise-product kernels";
+  uint64_t F = sizeof(float);
+  W.Buffers = {
+      {"data", static_cast<uint64_t>(N * M) * F},
+      {"mean", static_cast<uint64_t>(M) * F},
+      {"cov", static_cast<uint64_t>(M * M) * F},
+  };
+  W.Calls = {
+      {"covar_mean_kernel",
+       kern::NDRange::of1D(static_cast<uint64_t>(M), WgSize1D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::i64(N), KArg::i64(M)}},
+      {"covar_center_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(M), static_cast<uint64_t>(N),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(1), KArg::i64(N), KArg::i64(M)}},
+      {"covar_cov_kernel",
+       kern::NDRange::of2D(static_cast<uint64_t>(M), static_cast<uint64_t>(M),
+                           WgSizeX2D, WgSizeY2D),
+       {KArg::buffer(0), KArg::buffer(2), KArg::i64(N), KArg::i64(M)}},
+  };
+  W.ResultBuffers = {2};
+  return W;
+}
+
+std::vector<Workload> fcl::work::extendedSuite() {
+  std::vector<Workload> Suite = paperSuite();
+  Suite.push_back(makeMvt(4096));
+  Suite.push_back(makeGemm(1024, 1024, 1024));
+  Suite.push_back(make2mm(1024));
+  Suite.push_back(make3mm(1024));
+  Suite.push_back(makeCovar(2048, 2048));
+  return Suite;
+}

@@ -1,0 +1,18 @@
+//===- work/Workload.cpp - Benchmark workload definitions ------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "work/Workload.h"
+
+using namespace fcl;
+using namespace fcl::work;
+
+std::vector<uint64_t> Workload::groupCounts() const {
+  std::vector<uint64_t> Counts;
+  Counts.reserve(Calls.size());
+  for (const KernelCall &C : Calls)
+    Counts.push_back(C.Range.totalGroups());
+  return Counts;
+}

@@ -1,0 +1,95 @@
+//===- work/Workload.h - Benchmark workload definitions ---------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative descriptions of the paper's six Polybench benchmarks
+/// (Table 2): the buffers an application creates, the kernel launches it
+/// performs, and the buffers it reads back. A workload is interpreted
+/// against any HeteroRuntime by work/Driver.h, so the same application
+/// code runs under CPU-only, GPU-only, static partitioning, FluidiCL and
+/// SOCL.
+///
+/// All buffers hold floats initialized with deterministic pseudo-random
+/// values; reference outputs are produced by executing the same kernel
+/// sequence directly on the host (the kernels themselves are validated
+/// against closed-form math in tests/kern_polybench_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_WORK_WORKLOAD_H
+#define FCL_WORK_WORKLOAD_H
+
+#include "kern/NDRange.h"
+#include "runtime/HeteroRuntime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace work {
+
+/// One buffer the application creates.
+struct BufferSpec {
+  std::string Name;
+  uint64_t Bytes = 0;
+};
+
+/// One kernel launch in application order.
+struct KernelCall {
+  std::string Kernel;
+  kern::NDRange Range;
+  /// Buffer KArgs refer to indices into Workload::Buffers.
+  std::vector<runtime::KArg> Args;
+};
+
+/// A complete benchmark application.
+struct Workload {
+  std::string Name;
+  std::string Summary;
+  std::vector<BufferSpec> Buffers;
+  std::vector<KernelCall> Calls;
+  /// Indices of buffers the application reads back at the end.
+  std::vector<size_t> ResultBuffers;
+
+  /// Total work-groups per call (Table 2's "Work-groups" column).
+  std::vector<uint64_t> groupCounts() const;
+};
+
+// Parameterized constructors for the paper's suite.
+Workload makeAtax(int64_t NX, int64_t NY);
+Workload makeBicg(int64_t NX, int64_t NY);
+Workload makeCorr(int64_t N, int64_t M);
+Workload makeGesummv(int64_t N);
+Workload makeSyrk(int64_t N, int64_t M);
+Workload makeSyr2k(int64_t N, int64_t M);
+
+// Extension workloads beyond the paper's six (see README):
+/// MVT: two matrix-vector products with opposite access patterns.
+Workload makeMvt(int64_t N);
+/// GEMM: C = alpha A B + beta C.
+Workload makeGemm(int64_t NI, int64_t NJ, int64_t NK);
+/// 2MM: two chained GEMMs through an intermediate buffer.
+Workload make2mm(int64_t N);
+/// 3MM: three GEMMs, two independent then one combining their results.
+Workload make3mm(int64_t N);
+/// COVAR: covariance matrix (mean, center, pairwise-product kernels).
+Workload makeCovar(int64_t N, int64_t M);
+
+/// The paper-scale suite (Table 2 input sizes as reconstructed in
+/// DESIGN.md).
+std::vector<Workload> paperSuite();
+
+/// Scaled-down versions of all six benchmarks for functional testing.
+std::vector<Workload> testSuite();
+
+/// The paper suite plus the extension workloads (MVT, GEMM, 2MM).
+std::vector<Workload> extendedSuite();
+
+} // namespace work
+} // namespace fcl
+
+#endif // FCL_WORK_WORKLOAD_H

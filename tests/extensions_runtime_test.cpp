@@ -1,0 +1,209 @@
+//===- tests/extensions_runtime_test.cpp - Runtime extension tests ---------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the runtime features beyond the paper's headline results: the
+/// section 7 atomics fallback, the region-transfer extension, and the
+/// ArgParser used by the fluidicl_sim tool.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "support/ArgParser.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+// --- Atomics fallback (paper section 7) ----------------------------------------
+
+TEST(AtomicsFallbackTest, AtomicKernelRunsGpuOnly) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  const int64_t N = 4096, Bins = 16;
+  runtime::BufferId X = RT.createBuffer(N * 4, "x");
+  runtime::BufferId H = RT.createBuffer(Bins * 4, "hist");
+  std::vector<float> HX(N), HH(Bins, 0.0f);
+  for (int64_t I = 0; I < N; ++I)
+    HX[static_cast<size_t>(I)] = static_cast<float>(I % 100) / 100.0f;
+  RT.writeBuffer(X, HX.data(), N * 4);
+  RT.writeBuffer(H, HH.data(), Bins * 4);
+  RT.launchKernel("histogram_atomic", kern::NDRange::of1D(N, 32),
+                  {runtime::KArg::buffer(X), runtime::KArg::buffer(H),
+                   runtime::KArg::i64(N), runtime::KArg::i64(Bins)});
+  RT.readBuffer(H, HH.data(), Bins * 4);
+  RT.finish();
+
+  fluidicl::KernelStats S = RT.kernelStats().front();
+  EXPECT_TRUE(S.AtomicsFallback);
+  EXPECT_EQ(S.CpuGroupsExecuted, 0u);
+  EXPECT_EQ(S.GpuGroupsExecuted, S.TotalGroups);
+
+  float Total = 0;
+  for (float V : HH)
+    Total += V;
+  EXPECT_FLOAT_EQ(Total, static_cast<float>(N));
+}
+
+TEST(AtomicsFallbackTest, NonAtomicKernelsUnaffected) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  runWorkload(RT, makeSyrk(1024, 1024), false);
+  EXPECT_FALSE(RT.kernelStats().front().AtomicsFallback);
+  EXPECT_GT(RT.kernelStats().front().CpuGroupsExecuted, 0u);
+}
+
+// --- Region transfers --------------------------------------------------------------
+
+class RegionTransfersTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegionTransfersTest, FunctionalMatchesReference) {
+  Workload W = testSuite()[GetParam()];
+  fluidicl::Options Opts;
+  Opts.RegionTransfers = true;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx, Opts);
+  RunResult Res = runWorkload(RT, W, true);
+  EXPECT_TRUE(Res.Valid) << W.Name << " err " << Res.MaxAbsError;
+}
+
+std::string regionTestName(const ::testing::TestParamInfo<size_t> &Info) {
+  static const char *Names[] = {"ATAX", "BICG",  "CORR",
+                                "GESUMMV", "SYRK", "SYR2K"};
+  return Names[Info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, RegionTransfersTest,
+                         ::testing::Range<size_t>(0, 6), regionTestName);
+
+TEST(RegionTransfersTest, ReducesHdTrafficOnSyrk) {
+  Workload W = makeSyrk(1024, 1024);
+  auto HdBytes = [&](bool Regions) {
+    fluidicl::Options Opts;
+    Opts.RegionTransfers = Regions;
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+    fluidicl::Runtime RT(Ctx, Opts);
+    runWorkload(RT, W, false);
+    return RT.kernelStats().front().HdBytesSent;
+  };
+  uint64_t Full = HdBytes(false);
+  uint64_t Regions = HdBytes(true);
+  EXPECT_GT(Full, 0u);
+  // Band transfers move a small fraction of the whole-buffer stream.
+  EXPECT_LT(Regions, Full / 4);
+}
+
+TEST(RegionTransfersTest, DoesNotHurtTotalTime) {
+  Workload W = makeSyrk(1024, 1024);
+  RunConfig C;
+  double Full = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+  C.FclOpts.RegionTransfers = true;
+  double Regions = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+  EXPECT_LE(Regions, Full * 1.02);
+}
+
+TEST(RegionTransfersTest, NonContiguousKernelFallsBackToWholeBuffer) {
+  // corr_corr_kernel writes symmetric elements: not row-contiguous, so the
+  // option must not change its traffic (and results stay correct, which
+  // AllWorkloads/CORR above checks).
+  Workload W = makeCorr(512, 512);
+  auto HdBytes = [&](bool Regions) {
+    fluidicl::Options Opts;
+    Opts.RegionTransfers = Regions;
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+    fluidicl::Runtime RT(Ctx, Opts);
+    runWorkload(RT, W, false);
+    uint64_t CorrBytes = 0;
+    for (const fluidicl::KernelStats &S : RT.kernelStats())
+      if (S.KernelName == "corr_corr_kernel")
+        CorrBytes = S.HdBytesSent;
+    return CorrBytes;
+  };
+  EXPECT_EQ(HdBytes(true), HdBytes(false));
+}
+
+// --- ArgParser -----------------------------------------------------------------------
+
+TEST(ArgParserTest, ParsesFlagsAndOptions) {
+  ArgParser P("tool", "test");
+  P.addFlag("verbose", "talk more");
+  P.addOption("size", "problem size", "100");
+  const char *Argv[] = {"--verbose", "--size=42"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_TRUE(P.flag("verbose"));
+  EXPECT_EQ(P.i64("size"), 42);
+  EXPECT_TRUE(P.given("size"));
+}
+
+TEST(ArgParserTest, DefaultsApplyWhenAbsent) {
+  ArgParser P("tool", "test");
+  P.addFlag("verbose", "talk more");
+  P.addOption("size", "problem size", "100");
+  ASSERT_TRUE(P.parse(0, nullptr));
+  EXPECT_FALSE(P.flag("verbose"));
+  EXPECT_EQ(P.i64("size"), 100);
+  EXPECT_FALSE(P.given("size"));
+}
+
+TEST(ArgParserTest, SpaceSeparatedValue) {
+  ArgParser P("tool", "test");
+  P.addOption("name", "a name", "");
+  const char *Argv[] = {"--name", "fluidicl"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_EQ(P.str("name"), "fluidicl");
+}
+
+TEST(ArgParserTest, FloatValues) {
+  ArgParser P("tool", "test");
+  P.addOption("load", "load factor", "1.0");
+  const char *Argv[] = {"--load=2.5"};
+  ASSERT_TRUE(P.parse(1, Argv));
+  EXPECT_DOUBLE_EQ(P.f64("load"), 2.5);
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  ArgParser P("tool", "test");
+  const char *Argv[] = {"alpha", "beta"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_EQ(P.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(ArgParserTest, UnknownOptionFails) {
+  ArgParser P("tool", "test");
+  const char *Argv[] = {"--bogus"};
+  EXPECT_FALSE(P.parse(1, Argv));
+  EXPECT_NE(P.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParserTest, MissingValueFails) {
+  ArgParser P("tool", "test");
+  P.addOption("size", "problem size", "0");
+  const char *Argv[] = {"--size"};
+  EXPECT_FALSE(P.parse(1, Argv));
+}
+
+TEST(ArgParserTest, FlagWithValueFails) {
+  ArgParser P("tool", "test");
+  P.addFlag("verbose", "talk more");
+  const char *Argv[] = {"--verbose=yes"};
+  EXPECT_FALSE(P.parse(1, Argv));
+}
+
+TEST(ArgParserTest, HelpRequested) {
+  ArgParser P("tool", "test");
+  P.addFlag("x", "an x");
+  const char *Argv[] = {"--help"};
+  ASSERT_TRUE(P.parse(1, Argv));
+  EXPECT_TRUE(P.helpRequested());
+  std::string Help = P.helpText();
+  EXPECT_NE(Help.find("--x"), std::string::npos);
+  EXPECT_NE(Help.find("an x"), std::string::npos);
+}
+
+} // namespace

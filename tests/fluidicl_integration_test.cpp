@@ -1,0 +1,105 @@
+//===- tests/fluidicl_integration_test.cpp - End-to-end FluidiCL tests ----===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end functional tests: every workload of the scaled-down suite
+/// runs under FluidiCL (in several optimization configurations) and must
+/// produce exactly the single-device reference results; timing invariants
+/// from the paper (never much worse than the best device; cooperative
+/// kernels beat single devices where expected) are asserted on the
+/// paper-scale inputs in timing-only mode.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+class FluidiclWorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+const std::vector<Workload> &smallSuite() {
+  static const std::vector<Workload> Suite = testSuite();
+  return Suite;
+}
+
+TEST_P(FluidiclWorkloadTest, FunctionalMatchesReference) {
+  const Workload &W = smallSuite()[GetParam()];
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  RunResult Res = runWorkload(RT, W, /*Validate=*/true);
+  ASSERT_TRUE(Res.Validated);
+  EXPECT_TRUE(Res.Valid) << W.Name << " max error " << Res.MaxAbsError;
+}
+
+TEST_P(FluidiclWorkloadTest, FunctionalWithoutOptimizations) {
+  const Workload &W = smallSuite()[GetParam()];
+  fluidicl::Options Opts;
+  Opts.AbortPolicy = hw::AbortPolicyKind::AtStart;
+  Opts.LoopUnroll = false;
+  Opts.CpuWorkGroupSplit = false;
+  Opts.BufferPool = false;
+  Opts.DataLocationTracking = false;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx, Opts);
+  RunResult Res = runWorkload(RT, W, /*Validate=*/true);
+  EXPECT_TRUE(Res.Valid) << W.Name << " max error " << Res.MaxAbsError;
+}
+
+TEST_P(FluidiclWorkloadTest, FunctionalWithOnlineProfiling) {
+  const Workload &W = smallSuite()[GetParam()];
+  fluidicl::Options Opts;
+  Opts.OnlineProfiling = true;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx, Opts);
+  RunResult Res = runWorkload(RT, W, /*Validate=*/true);
+  EXPECT_TRUE(Res.Valid) << W.Name << " max error " << Res.MaxAbsError;
+}
+
+std::string workloadTestName(const ::testing::TestParamInfo<size_t> &Info) {
+  static const char *Names[] = {"ATAX", "BICG", "CORR",
+                                "GESUMMV", "SYRK", "SYR2K"};
+  return Names[Info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FluidiclWorkloadTest,
+                         ::testing::Range<size_t>(0, 6), workloadTestName);
+
+TEST(FluidiclTimingTest, NeverMuchWorseThanBestDevice) {
+  // Paper: "In all benchmarks, performance of our runtime comes to within
+  // 3% of the best of the two devices." Allow a slightly wider margin.
+  RunConfig C;
+  for (const Workload &W : paperSuite()) {
+    Duration Cpu = timeUnder(RuntimeKind::CpuOnly, W, C);
+    Duration Gpu = timeUnder(RuntimeKind::GpuOnly, W, C);
+    Duration Fcl = timeUnder(RuntimeKind::FluidiCL, W, C);
+    double Best = std::min(Cpu.toSeconds(), Gpu.toSeconds());
+    EXPECT_LE(Fcl.toSeconds(), Best * 1.08)
+        << W.Name << ": fluidicl " << Fcl.toSeconds() << "s vs best "
+        << Best << "s";
+  }
+}
+
+TEST(FluidiclTimingTest, CooperativeKernelsBeatBothDevices) {
+  // SYRK/SYR2K-style kernels have comparable device speeds; cooperative
+  // execution must beat the best single device comfortably (paper Fig 13).
+  RunConfig C;
+  for (const Workload &W : {makeSyrk(1024, 1024), makeSyr2k(1536, 1536)}) {
+    Duration Cpu = timeUnder(RuntimeKind::CpuOnly, W, C);
+    Duration Gpu = timeUnder(RuntimeKind::GpuOnly, W, C);
+    Duration Fcl = timeUnder(RuntimeKind::FluidiCL, W, C);
+    double Best = std::min(Cpu.toSeconds(), Gpu.toSeconds());
+    EXPECT_LT(Fcl.toSeconds(), Best * 0.9)
+        << W.Name << ": fluidicl " << Fcl.toSeconds() << "s vs best "
+        << Best << "s";
+  }
+}
+
+} // namespace

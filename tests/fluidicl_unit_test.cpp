@@ -1,0 +1,279 @@
+//===- tests/fluidicl_unit_test.cpp - FluidiCL component tests -------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the FluidiCL runtime's components: the adaptive chunk
+/// controller (section 5.1), buffer version tracking (section 5.3), the
+/// GPU buffer pool (section 6.1), and online profiling (section 6.6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/BufferPool.h"
+#include "fluidicl/ChunkController.h"
+#include "fluidicl/OnlineProfiler.h"
+#include "fluidicl/VersionTracker.h"
+#include "kern/Registry.h"
+#include "mcl/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcl;
+using namespace fcl::fluidicl;
+
+namespace {
+
+// --- ChunkController -----------------------------------------------------------
+
+TEST(ChunkControllerTest, InitialChunkIsPercentage) {
+  ChunkController C(1000, 8, 2.0, 2.0);
+  EXPECT_EQ(C.nextChunk(1000), 20u);
+}
+
+TEST(ChunkControllerTest, FloorsAtComputeUnits) {
+  // 2% of 100 groups = 2 < 8 units: floor to the unit count (section 5.1).
+  ChunkController C(100, 8, 2.0, 2.0);
+  EXPECT_EQ(C.nextChunk(100), 8u);
+}
+
+TEST(ChunkControllerTest, NeverExceedsRemaining) {
+  ChunkController C(1000, 8, 50.0, 2.0);
+  EXPECT_EQ(C.nextChunk(100), 100u);
+  EXPECT_EQ(C.nextChunk(3), 3u);
+  EXPECT_EQ(C.nextChunk(0), 0u);
+}
+
+TEST(ChunkControllerTest, GrowsWhileTimePerGroupImproves) {
+  ChunkController C(1000, 8, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(C.currentPct(), 2.0);
+  C.reportSubkernel(20, Duration::microseconds(2000)); // 100 us/wg.
+  EXPECT_DOUBLE_EQ(C.currentPct(), 4.0);
+  C.reportSubkernel(40, Duration::microseconds(3200)); // 80 us/wg: better.
+  EXPECT_DOUBLE_EQ(C.currentPct(), 6.0);
+  EXPECT_TRUE(C.stillGrowing());
+}
+
+TEST(ChunkControllerTest, StopsGrowingWhenTimePerGroupWorsens) {
+  ChunkController C(1000, 8, 2.0, 2.0);
+  C.reportSubkernel(20, Duration::microseconds(2000)); // 100 us/wg.
+  C.reportSubkernel(40, Duration::microseconds(4800)); // 120 us/wg: worse.
+  EXPECT_FALSE(C.stillGrowing());
+  double Held = C.currentPct();
+  C.reportSubkernel(40, Duration::microseconds(10)); // Improvement ignored.
+  EXPECT_DOUBLE_EQ(C.currentPct(), Held);
+}
+
+TEST(ChunkControllerTest, ZeroStepKeepsChunkFixed) {
+  ChunkController C(1000, 8, 2.0, 0.0);
+  EXPECT_FALSE(C.stillGrowing());
+  C.reportSubkernel(20, Duration::microseconds(100));
+  C.reportSubkernel(20, Duration::microseconds(50));
+  EXPECT_DOUBLE_EQ(C.currentPct(), 2.0);
+}
+
+TEST(ChunkControllerTest, PercentCapsAtHundred) {
+  ChunkController C(100, 1, 90.0, 50.0);
+  C.reportSubkernel(90, Duration::microseconds(100));
+  EXPECT_LE(C.currentPct(), 100.0);
+}
+
+TEST(ChunkControllerDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(ChunkController(0, 8, 2, 2), "empty");
+  EXPECT_DEATH(ChunkController(10, 0, 2, 2), "units");
+  EXPECT_DEATH(ChunkController(10, 8, 0, 2), "percent");
+}
+
+// --- VersionTracker -------------------------------------------------------------
+
+TEST(VersionTrackerTest, FreshBufferIsCurrent) {
+  VersionTracker V;
+  uint32_t B = V.addBuffer();
+  EXPECT_TRUE(V.cpuCurrent(B));
+}
+
+TEST(VersionTrackerTest, KernelWriteMakesCpuStale) {
+  VersionTracker V;
+  uint32_t B = V.addBuffer();
+  V.noteKernelWillWrite(B, 1);
+  EXPECT_FALSE(V.cpuCurrent(B));
+  EXPECT_EQ(V.expectedVersion(B), 1u);
+  V.noteCpuReceived(B, 1);
+  EXPECT_TRUE(V.cpuCurrent(B));
+}
+
+TEST(VersionTrackerTest, HostWriteRefreshesBothSides) {
+  VersionTracker V;
+  uint32_t B = V.addBuffer();
+  V.noteKernelWillWrite(B, 1);
+  V.noteHostWrite(B, 1);
+  EXPECT_TRUE(V.cpuCurrent(B));
+}
+
+TEST(VersionTrackerTest, StaleArrivalsDiscarded) {
+  VersionTracker V;
+  uint32_t B = V.addBuffer();
+  V.noteKernelWillWrite(B, 1);
+  V.noteKernelWillWrite(B, 2);
+  V.noteCpuReceived(B, 2);
+  EXPECT_TRUE(V.cpuCurrent(B));
+  // A late version-1 message must not regress the received version
+  // (section 5.3: stale data is discarded).
+  V.noteCpuReceived(B, 1);
+  EXPECT_EQ(V.cpuVersion(B), 2u);
+  EXPECT_TRUE(V.cpuCurrent(B));
+}
+
+TEST(VersionTrackerTest, CpuCurrentAllChecksEveryBuffer) {
+  VersionTracker V;
+  uint32_t A = V.addBuffer();
+  uint32_t B = V.addBuffer();
+  V.noteKernelWillWrite(B, 1);
+  EXPECT_FALSE(V.cpuCurrentAll({A, B}));
+  V.noteCpuReceived(B, 1);
+  EXPECT_TRUE(V.cpuCurrentAll({A, B}));
+}
+
+TEST(VersionTrackerDeathTest, KernelIdsMustIncrease) {
+  VersionTracker V;
+  uint32_t B = V.addBuffer();
+  V.noteKernelWillWrite(B, 5);
+  EXPECT_DEATH(V.noteKernelWillWrite(B, 5), "increase");
+}
+
+// --- BufferPool -------------------------------------------------------------------
+
+TEST(BufferPoolTest, ReusesReleasedBuffers) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), /*Enabled=*/true);
+  mcl::Buffer *B1 = Pool.acquire(1024);
+  EXPECT_EQ(Pool.misses(), 1u);
+  Pool.release(B1);
+  mcl::Buffer *B2 = Pool.acquire(512); // Fits in the released 1024.
+  EXPECT_EQ(B2, B1);
+  EXPECT_EQ(Pool.hits(), 1u);
+}
+
+TEST(BufferPoolTest, PicksSmallestFittingBuffer) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), true);
+  mcl::Buffer *Big = Pool.acquire(4096);
+  mcl::Buffer *Small = Pool.acquire(1024);
+  Pool.release(Big);
+  Pool.release(Small);
+  mcl::Buffer *Got = Pool.acquire(1000);
+  EXPECT_EQ(Got, Small);
+}
+
+TEST(BufferPoolTest, TooSmallFreeBuffersNotReused) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), true);
+  mcl::Buffer *Small = Pool.acquire(256);
+  Pool.release(Small);
+  mcl::Buffer *Big = Pool.acquire(8192);
+  EXPECT_NE(Big, Small);
+  EXPECT_EQ(Big->size(), 8192u);
+  EXPECT_EQ(Pool.misses(), 2u);
+}
+
+TEST(BufferPoolTest, ReclaimFreesIdleBuffers) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), true);
+  Pool.release(Pool.acquire(1024));
+  EXPECT_EQ(Pool.freeCount(), 1u);
+  for (int I = 0; I < 10; ++I)
+    Pool.endKernelReclaim(/*MaxIdleKernels=*/4);
+  EXPECT_EQ(Pool.freeCount(), 0u);
+}
+
+TEST(BufferPoolTest, RecentlyUsedSurviveReclaim) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), true);
+  Pool.release(Pool.acquire(1024));
+  Pool.endKernelReclaim(4);
+  EXPECT_EQ(Pool.freeCount(), 1u);
+}
+
+TEST(BufferPoolTest, DisabledPoolAlwaysAllocatesFresh) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), /*Enabled=*/false);
+  mcl::Buffer *B1 = Pool.acquire(1024);
+  Pool.release(B1);
+  Pool.acquire(1024);
+  EXPECT_EQ(Pool.hits(), 0u);
+  EXPECT_EQ(Pool.misses(), 2u);
+  EXPECT_EQ(Pool.freeCount(), 0u);
+}
+
+TEST(BufferPoolDeathTest, ReleasingForeignBufferAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  BufferPool Pool(Ctx, Ctx.gpu(), true);
+  auto Foreign = Ctx.createBuffer(Ctx.gpu(), 64);
+  EXPECT_DEATH(Pool.release(Foreign.get()), "does not own");
+}
+
+// --- OnlineProfiler --------------------------------------------------------------
+
+TEST(OnlineProfilerTest, SingleVersionDecidedImmediately) {
+  OnlineProfiler P;
+  const kern::KernelInfo &K = kern::Registry::builtin().get("syrk_kernel");
+  EXPECT_EQ(P.pickCpuKernel(K), &K);
+  EXPECT_TRUE(P.decided(K));
+}
+
+TEST(OnlineProfilerTest, CyclesThroughVariantsThenPicksFastest) {
+  OnlineProfiler P;
+  const kern::KernelInfo &Base =
+      kern::Registry::builtin().get("corr_corr_kernel");
+  const kern::KernelInfo &Opt =
+      kern::Registry::builtin().get("corr_corr_kernel_cpuopt");
+
+  const kern::KernelInfo *First = P.pickCpuKernel(Base);
+  EXPECT_EQ(First, &Base);
+  P.reportSubkernel(Base, *First, 8, Duration::milliseconds(80));
+  EXPECT_FALSE(P.decided(Base));
+
+  const kern::KernelInfo *Second = P.pickCpuKernel(Base);
+  EXPECT_EQ(Second, &Opt);
+  P.reportSubkernel(Base, *Second, 8, Duration::milliseconds(10));
+  ASSERT_TRUE(P.decided(Base));
+  EXPECT_EQ(P.pickCpuKernel(Base), &Opt);
+  EXPECT_EQ(P.chosenName(Base), "corr_corr_kernel_cpuopt");
+}
+
+TEST(OnlineProfilerTest, BaselineWinsWhenVariantSlower) {
+  OnlineProfiler P;
+  const kern::KernelInfo &Base =
+      kern::Registry::builtin().get("corr_corr_kernel");
+  P.reportSubkernel(Base, *P.pickCpuKernel(Base), 8,
+                    Duration::milliseconds(5));
+  P.reportSubkernel(Base, *P.pickCpuKernel(Base), 8,
+                    Duration::milliseconds(50));
+  ASSERT_TRUE(P.decided(Base));
+  EXPECT_EQ(P.chosenName(Base), "corr_corr_kernel");
+}
+
+TEST(OnlineProfilerTest, DecisionStableAcrossFurtherReports) {
+  OnlineProfiler P;
+  const kern::KernelInfo &Base =
+      kern::Registry::builtin().get("corr_corr_kernel");
+  P.reportSubkernel(Base, *P.pickCpuKernel(Base), 8,
+                    Duration::milliseconds(80));
+  const kern::KernelInfo *Winner = P.pickCpuKernel(Base);
+  P.reportSubkernel(Base, *Winner, 8, Duration::milliseconds(10));
+  ASSERT_TRUE(P.decided(Base));
+  // Later (e.g. anomalous) measurements no longer flip the decision.
+  P.reportSubkernel(Base, *P.pickCpuKernel(Base), 8,
+                    Duration::milliseconds(9999));
+  EXPECT_EQ(P.chosenName(Base), "corr_corr_kernel_cpuopt");
+}
+
+TEST(OnlineProfilerTest, ZeroGroupReportIgnored) {
+  OnlineProfiler P;
+  const kern::KernelInfo &Base =
+      kern::Registry::builtin().get("corr_corr_kernel");
+  P.reportSubkernel(Base, *P.pickCpuKernel(Base), 0, Duration::zero());
+  EXPECT_FALSE(P.decided(Base));
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tests/hw_cost_test.cpp - hw/ machine + cost-model tests -------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CostModel.h"
+#include "hw/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcl;
+using namespace fcl::hw;
+
+namespace {
+
+WorkItemCost computeBoundCost() {
+  WorkItemCost C;
+  C.Flops = 1000;
+  C.BytesRead = 4;
+  C.BytesWritten = 4;
+  C.LoopTripCount = 500;
+  C.NoUnrollPenalty = 1.5;
+  return C;
+}
+
+WorkItemCost memoryBoundCost() {
+  WorkItemCost C;
+  C.Flops = 2;
+  C.BytesRead = 4096;
+  C.BytesWritten = 4;
+  C.GpuCoalescing = 0.5;
+  return C;
+}
+
+// --- Machine descriptors ------------------------------------------------------
+
+TEST(MachineTest, PaperGpuPeakFlops) {
+  Machine M = paperMachine();
+  // 14 SMs x 32 lanes x 2 flops x 1.15 GHz ~ 1.03 TFLOP/s (Tesla C2070).
+  EXPECT_NEAR(M.Gpu.peakFlops(), 1.03e12, 0.01e12);
+  EXPECT_EQ(M.Gpu.waveWidth(), 14 * 8);
+}
+
+TEST(MachineTest, PcieTransferTimeHasLatencyAndBandwidth) {
+  PcieModel P;
+  Duration Small = P.transferTime(1);
+  EXPECT_GE(Small.nanos(), P.Latency.nanos());
+  Duration OneMb = P.transferTime(1 << 20);
+  Duration TwoMb = P.transferTime(2 << 20);
+  // Second megabyte costs bandwidth only (latency amortized).
+  EXPECT_NEAR(static_cast<double>((TwoMb - OneMb).nanos()),
+              (1 << 20) / P.Bandwidth * 1e9, 1.0);
+}
+
+TEST(MachineTest, MemcpyTimeScalesLinearly) {
+  HostModel H;
+  EXPECT_EQ(H.memcpyTime(0).nanos(), 0);
+  EXPECT_NEAR(static_cast<double>(H.memcpyTime(1 << 30).nanos()),
+              (1 << 30) / H.MemcpyBandwidth * 1e9, 2.0);
+}
+
+// --- Abort-check accounting ---------------------------------------------------
+
+TEST(CostModelTest, AbortChecksPerItemByPolicy) {
+  WorkItemCost C = computeBoundCost();
+  AbortConfig None;
+  EXPECT_EQ(abortChecksPerItem(C, None), 0);
+
+  AbortConfig AtStart;
+  AtStart.Kind = AbortPolicyKind::AtStart;
+  EXPECT_EQ(abortChecksPerItem(C, AtStart), 1);
+
+  AbortConfig InLoop;
+  InLoop.Kind = AbortPolicyKind::InLoop;
+  InLoop.Unroll = true;
+  InLoop.UnrollFactor = 8;
+  EXPECT_DOUBLE_EQ(abortChecksPerItem(C, InLoop), 1 + 500.0 / 8);
+
+  InLoop.Unroll = false;
+  EXPECT_DOUBLE_EQ(abortChecksPerItem(C, InLoop), 1 + 500.0);
+}
+
+TEST(CostModelTest, EffectiveFlopsOrderingAcrossPolicies) {
+  GpuModel Gpu;
+  WorkItemCost C = computeBoundCost();
+  AbortConfig None;
+  AbortConfig AtStart;
+  AtStart.Kind = AbortPolicyKind::AtStart;
+  AbortConfig InLoopUnrolled;
+  InLoopUnrolled.Kind = AbortPolicyKind::InLoop;
+  InLoopUnrolled.Unroll = true;
+  AbortConfig InLoopNoUnroll = InLoopUnrolled;
+  InLoopNoUnroll.Unroll = false;
+
+  double FNone = gpuEffectiveFlopsPerItem(Gpu, C, None);
+  double FStart = gpuEffectiveFlopsPerItem(Gpu, C, AtStart);
+  double FLoop = gpuEffectiveFlopsPerItem(Gpu, C, InLoopUnrolled);
+  double FNoUnroll = gpuEffectiveFlopsPerItem(Gpu, C, InLoopNoUnroll);
+
+  EXPECT_LT(FNone, FStart);
+  EXPECT_LT(FStart, FLoop);
+  EXPECT_LT(FLoop, FNoUnroll);
+  // Losing unrolling costs at least the NoUnrollPenalty factor.
+  EXPECT_GE(FNoUnroll, FNone * C.NoUnrollPenalty);
+}
+
+TEST(CostModelTest, ModifiedKernelBonusOnlyForFullTransform) {
+  Machine M = paperMachine();
+  WorkItemCost C = computeBoundCost();
+  C.GpuModifiedKernelBonus = 1.5;
+  AbortConfig AtStart;
+  AtStart.Kind = AbortPolicyKind::AtStart;
+  AbortConfig Full;
+  Full.Kind = AbortPolicyKind::InLoop;
+  Full.Unroll = true;
+
+  Duration TStart = gpuWaveTime(M, C, AtStart, 10000);
+  Duration TFull = gpuWaveTime(M, C, Full, 10000);
+  // Despite extra checks, the transformed kernel is faster thanks to the
+  // cache bonus (the paper's SYRK observation).
+  EXPECT_LT(TFull, TStart);
+}
+
+// --- GPU wave timing ------------------------------------------------------------
+
+TEST(CostModelTest, GpuWaveTimeZeroItems) {
+  Machine M = paperMachine();
+  EXPECT_EQ(gpuWaveTime(M, computeBoundCost(), AbortConfig(), 0).nanos(), 0);
+}
+
+TEST(CostModelTest, GpuWaveTimeScalesWithItems) {
+  Machine M = paperMachine();
+  WorkItemCost C = computeBoundCost();
+  Duration T1 = gpuWaveTime(M, C, AbortConfig(), 1000);
+  Duration T2 = gpuWaveTime(M, C, AbortConfig(), 2000);
+  EXPECT_NEAR(static_cast<double>(T2.nanos()),
+              2.0 * static_cast<double>(T1.nanos()), 2.0);
+}
+
+TEST(CostModelTest, MemoryBoundKernelIgnoresAbortOverhead) {
+  Machine M = paperMachine();
+  WorkItemCost C = memoryBoundCost();
+  AbortConfig InLoop;
+  InLoop.Kind = AbortPolicyKind::InLoop;
+  Duration TNone = gpuWaveTime(M, C, AbortConfig(), 10000);
+  Duration TLoop = gpuWaveTime(M, C, InLoop, 10000);
+  // max(compute, memory): the added compute hides under the memory time.
+  EXPECT_EQ(TNone.nanos(), TLoop.nanos());
+}
+
+TEST(CostModelTest, CoalescingControlsMemoryBoundTime) {
+  Machine M = paperMachine();
+  WorkItemCost C = memoryBoundCost();
+  C.GpuCoalescing = 1.0;
+  Duration Fast = gpuWaveTime(M, C, AbortConfig(), 10000);
+  C.GpuCoalescing = 0.25;
+  Duration Slow = gpuWaveTime(M, C, AbortConfig(), 10000);
+  EXPECT_NEAR(static_cast<double>(Slow.nanos()),
+              4.0 * static_cast<double>(Fast.nanos()), 4.0);
+}
+
+TEST(CostModelTest, GpuLoadFactorSlowsGpu) {
+  Machine M = paperMachine();
+  Duration Base = gpuWaveTime(M, computeBoundCost(), AbortConfig(), 10000);
+  M.GpuLoadFactor = 2.0;
+  Duration Loaded = gpuWaveTime(M, computeBoundCost(), AbortConfig(), 10000);
+  EXPECT_NEAR(static_cast<double>(Loaded.nanos()),
+              2.0 * static_cast<double>(Base.nanos()), 2.0);
+}
+
+TEST(CostModelTest, WaveCheckpointsByPolicy) {
+  WorkItemCost C = computeBoundCost(); // 500 trips.
+  AbortConfig None;
+  EXPECT_EQ(gpuWaveCheckpoints(C, None), 1);
+  AbortConfig AtStart;
+  AtStart.Kind = AbortPolicyKind::AtStart;
+  EXPECT_EQ(gpuWaveCheckpoints(C, AtStart), 1);
+  AbortConfig InLoop;
+  InLoop.Kind = AbortPolicyKind::InLoop;
+  InLoop.Unroll = true;
+  InLoop.UnrollFactor = 8;
+  // 500/8 ~ 62 checks, capped at 32 checkpoints.
+  EXPECT_EQ(gpuWaveCheckpoints(C, InLoop), 32);
+  C.LoopTripCount = 40;
+  EXPECT_EQ(gpuWaveCheckpoints(C, InLoop), 5);
+}
+
+// --- CPU timing -------------------------------------------------------------------
+
+TEST(CostModelTest, CpuWorkGroupTimeZeroItems) {
+  Machine M = paperMachine();
+  EXPECT_EQ(cpuWorkGroupTime(M, computeBoundCost(), 0).nanos(), 0);
+}
+
+TEST(CostModelTest, CpuComputeBoundMatchesRate) {
+  Machine M = paperMachine();
+  WorkItemCost C = computeBoundCost();
+  C.CpuFlopEfficiency = 1.0;
+  Duration T = cpuWorkGroupTime(M, C, 64);
+  double ExpectSeconds =
+      64 * C.Flops / (M.Cpu.ClockGhz * 1e9 * M.Cpu.FlopsPerUnitPerCycle);
+  EXPECT_NEAR(T.toSeconds(), ExpectSeconds, 1e-9);
+}
+
+TEST(CostModelTest, CpuMemoryBoundUsesSharedBandwidth) {
+  Machine M = paperMachine();
+  WorkItemCost C = memoryBoundCost();
+  C.CpuMemEfficiency = 1.0;
+  Duration T = cpuWorkGroupTime(M, C, 64);
+  double Share = M.Cpu.MemBandwidth / M.Cpu.ComputeUnits;
+  double ExpectSeconds = 64 * (C.BytesRead + C.BytesWritten) / Share;
+  EXPECT_NEAR(T.toSeconds(), ExpectSeconds, 1e-9);
+}
+
+TEST(CostModelTest, CpuLoadFactorSlowsCpu) {
+  Machine M = paperMachine();
+  Duration Base = cpuWorkGroupTime(M, computeBoundCost(), 64);
+  M.CpuLoadFactor = 3.0;
+  Duration Loaded = cpuWorkGroupTime(M, computeBoundCost(), 64);
+  EXPECT_NEAR(static_cast<double>(Loaded.nanos()),
+              3.0 * static_cast<double>(Base.nanos()), 3.0);
+}
+
+// --- Merge timing -------------------------------------------------------------------
+
+TEST(CostModelTest, MergeTimeIncludesLaunchAndTraffic) {
+  Machine M = paperMachine();
+  Duration T = gpuMergeTime(M, 1 << 20);
+  EXPECT_GT(T, M.Gpu.KernelLaunchOverhead);
+  double Traffic = 3.0 * (1 << 20) / M.Gpu.MemBandwidth;
+  EXPECT_NEAR(T.toSeconds() - M.Gpu.KernelLaunchOverhead.toSeconds(),
+              Traffic, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- tests/ndrange_test.cpp - NDRange / flattened-ID tests ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit and property-style tests for the flattened work-group numbering
+/// (paper Figure 5) and the subkernel offset calculation (section 5.2 /
+/// Figure 10).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kern/NDRange.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace fcl;
+using namespace fcl::kern;
+
+namespace {
+
+TEST(NDRangeTest, OneDimensional) {
+  NDRange R = NDRange::of1D(256, 32);
+  EXPECT_EQ(R.dims(), 1);
+  EXPECT_EQ(R.totalItems(), 256u);
+  EXPECT_EQ(R.itemsPerGroup(), 32u);
+  EXPECT_EQ(R.totalGroups(), 8u);
+  EXPECT_EQ(R.numGroups().X, 8u);
+  EXPECT_EQ(R.numGroups().Y, 1u);
+}
+
+TEST(NDRangeTest, TwoDimensional) {
+  NDRange R = NDRange::of2D(64, 32, 16, 8);
+  EXPECT_EQ(R.dims(), 2);
+  EXPECT_EQ(R.totalGroups(), 4u * 4u);
+  EXPECT_EQ(R.itemsPerGroup(), 128u);
+}
+
+TEST(NDRangeTest, ThreeDimensional) {
+  NDRange R = NDRange::of3D(16, 16, 8, 4, 4, 2);
+  EXPECT_EQ(R.dims(), 3);
+  EXPECT_EQ(R.totalGroups(), 4u * 4u * 4u);
+}
+
+TEST(NDRangeDeathTest, RejectsNonDividingLocalSize) {
+  EXPECT_DEATH(NDRange::of1D(100, 32), "divide");
+  EXPECT_DEATH(NDRange::of2D(64, 30, 16, 8), "divide");
+}
+
+TEST(NDRangeDeathTest, RejectsZeroExtents) {
+  EXPECT_DEATH(NDRange::of1D(0, 1), "positive");
+}
+
+// --- Flattened IDs (paper Figure 5) -----------------------------------------
+
+TEST(FlattenTest, MatchesPaperFigure5) {
+  // Figure 5: 5x5 grid of work-groups, (row, col) = (Y, X); flattened ID is
+  // row * 5 + col (X fastest).
+  Dim3 Groups{5, 5, 1};
+  EXPECT_EQ(flattenGroupId(Dim3{0, 0, 0}, Groups), 0u);
+  EXPECT_EQ(flattenGroupId(Dim3{4, 0, 0}, Groups), 4u);
+  EXPECT_EQ(flattenGroupId(Dim3{0, 1, 0}, Groups), 5u);
+  EXPECT_EQ(flattenGroupId(Dim3{2, 3, 0}, Groups), 17u);
+  EXPECT_EQ(flattenGroupId(Dim3{4, 4, 0}, Groups), 24u);
+}
+
+TEST(FlattenTest, UnflattenInvertsKnownValues) {
+  Dim3 Groups{5, 5, 1};
+  Dim3 Id = unflattenGroupId(17, Groups);
+  EXPECT_EQ(Id.X, 2u);
+  EXPECT_EQ(Id.Y, 3u);
+  EXPECT_EQ(Id.Z, 0u);
+}
+
+class FlattenRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FlattenRoundTripTest, RoundTripsEveryGroup) {
+  auto [NX, NY, NZ] = GetParam();
+  Dim3 Groups{static_cast<uint64_t>(NX), static_cast<uint64_t>(NY),
+              static_cast<uint64_t>(NZ)};
+  for (uint64_t Flat = 0; Flat < Groups.product(); ++Flat) {
+    Dim3 Id = unflattenGroupId(Flat, Groups);
+    EXPECT_EQ(flattenGroupId(Id, Groups), Flat);
+  }
+}
+
+TEST_P(FlattenRoundTripTest, FlattenIsMonotoneInX) {
+  auto [NX, NY, NZ] = GetParam();
+  Dim3 Groups{static_cast<uint64_t>(NX), static_cast<uint64_t>(NY),
+              static_cast<uint64_t>(NZ)};
+  for (uint64_t X = 1; X < Groups.X; ++X)
+    EXPECT_EQ(flattenGroupId(Dim3{X, 0, 0}, Groups),
+              flattenGroupId(Dim3{X - 1, 0, 0}, Groups) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlattenRoundTripTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(7, 1, 1),
+                      std::make_tuple(5, 5, 1), std::make_tuple(3, 4, 5),
+                      std::make_tuple(16, 2, 1), std::make_tuple(2, 2, 8)));
+
+// --- Slice computation (paper section 5.2) ------------------------------------
+
+TEST(SliceTest, OneDimensionalSliceIsExact) {
+  NDRange R = NDRange::of1D(320, 32); // 10 groups.
+  SliceLaunch S = computeSlice(R, 3, 7);
+  EXPECT_EQ(S.GroupOffset.X, 3u);
+  EXPECT_EQ(S.GroupCount.X, 4u);
+  EXPECT_EQ(S.activeGroups(), 4u);
+  EXPECT_EQ(S.launchedGroups(), 4u);
+}
+
+TEST(SliceTest, TwoDimensionalCoversWholeRows) {
+  NDRange R = NDRange::of2D(160, 80, 32, 8); // 5 x 10 groups.
+  // Flat range [7, 12): rows 1 and 2 (row length 5).
+  SliceLaunch S = computeSlice(R, 7, 12);
+  EXPECT_EQ(S.GroupOffset.X, 0u);
+  EXPECT_EQ(S.GroupOffset.Y, 1u);
+  EXPECT_EQ(S.GroupCount.X, 5u);
+  EXPECT_EQ(S.GroupCount.Y, 2u);
+  EXPECT_EQ(S.activeGroups(), 5u);
+  EXPECT_GE(S.launchedGroups(), S.activeGroups());
+}
+
+TEST(SliceTest, LaunchedBoxContainsEveryActiveGroup) {
+  NDRange R = NDRange::of2D(160, 80, 32, 8);
+  Dim3 Groups = R.numGroups();
+  Rng Rand(42);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    uint64_t Total = R.totalGroups();
+    uint64_t Lo = Rand.nextBelow(Total);
+    uint64_t Hi = Lo + 1 + Rand.nextBelow(Total - Lo);
+    SliceLaunch S = computeSlice(R, Lo, Hi);
+    EXPECT_EQ(S.StartFlat, Lo);
+    EXPECT_EQ(S.EndFlat, Hi);
+    for (uint64_t Flat = Lo; Flat < Hi; ++Flat) {
+      Dim3 Id = unflattenGroupId(Flat, Groups);
+      EXPECT_GE(Id.X, S.GroupOffset.X);
+      EXPECT_LT(Id.X, S.GroupOffset.X + S.GroupCount.X);
+      EXPECT_GE(Id.Y, S.GroupOffset.Y);
+      EXPECT_LT(Id.Y, S.GroupOffset.Y + S.GroupCount.Y);
+      EXPECT_GE(Id.Z, S.GroupOffset.Z);
+      EXPECT_LT(Id.Z, S.GroupOffset.Z + S.GroupCount.Z);
+    }
+  }
+}
+
+TEST(SliceTest, ThreeDimensionalSinglePlane) {
+  NDRange R = NDRange::of3D(8, 8, 8, 4, 4, 2); // 2 x 2 x 4 groups.
+  // Groups per plane = 4; flat [4, 6) sits in plane 1.
+  SliceLaunch S = computeSlice(R, 4, 6);
+  EXPECT_EQ(S.GroupOffset.Z, 1u);
+  EXPECT_EQ(S.GroupCount.Z, 1u);
+}
+
+TEST(SliceTest, ThreeDimensionalCrossPlane) {
+  NDRange R = NDRange::of3D(8, 8, 8, 4, 4, 2);
+  // Flat [3, 9) spans planes 0..2.
+  SliceLaunch S = computeSlice(R, 3, 9);
+  EXPECT_EQ(S.GroupOffset.Z, 0u);
+  EXPECT_GE(S.GroupCount.Z, 3u);
+  EXPECT_EQ(S.activeGroups(), 6u);
+}
+
+TEST(SliceTest, FullRangeSlice) {
+  NDRange R = NDRange::of2D(64, 64, 32, 8);
+  SliceLaunch S = computeSlice(R, 0, R.totalGroups());
+  EXPECT_EQ(S.activeGroups(), R.totalGroups());
+  EXPECT_EQ(S.launchedGroups(), R.totalGroups());
+}
+
+TEST(SliceDeathTest, RejectsBadRanges) {
+  NDRange R = NDRange::of1D(320, 32);
+  EXPECT_DEATH(computeSlice(R, 5, 5), "empty");
+  EXPECT_DEATH(computeSlice(R, 0, 11), "exceeds");
+}
+
+} // namespace

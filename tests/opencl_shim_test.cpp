@@ -1,0 +1,183 @@
+//===- tests/opencl_shim_test.cpp - OpenCL C-API shim tests ----------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/OpenCLShim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace fcl;
+using namespace fcl::fluidicl::shim;
+
+namespace {
+
+class ShimTest : public ::testing::Test {
+protected:
+  ShimTest()
+      : Sim(hw::paperMachine(), mcl::ExecMode::Functional), RT(Sim),
+        Ctx(fclCreateContext(RT)), Queue(fclCreateCommandQueue(Ctx)) {}
+  ~ShimTest() override { fclReleaseContext(Ctx); }
+
+  mcl::Context Sim;
+  fluidicl::Runtime RT;
+  fcl_context Ctx;
+  fcl_command_queue Queue;
+};
+
+TEST_F(ShimTest, BufferCreateWriteReadRoundTrip) {
+  fcl_int Err = -1;
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 256, nullptr, &Err);
+  ASSERT_NE(Buf, nullptr);
+  EXPECT_EQ(Err, FCL_SUCCESS);
+  std::vector<uint8_t> Src(256);
+  for (size_t I = 0; I < Src.size(); ++I)
+    Src[I] = static_cast<uint8_t>(I);
+  EXPECT_EQ(fclEnqueueWriteBuffer(Queue, Buf, FCL_TRUE, 0, 256, Src.data()),
+            FCL_SUCCESS);
+  std::vector<uint8_t> Dst(256, 0);
+  EXPECT_EQ(fclEnqueueReadBuffer(Queue, Buf, FCL_TRUE, 0, 256, Dst.data()),
+            FCL_SUCCESS);
+  EXPECT_EQ(Src, Dst);
+}
+
+TEST_F(ShimTest, HostPtrInitializesBuffer) {
+  std::vector<float> Init(64, 7.5f);
+  fcl_int Err = -1;
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_ONLY, 64 * 4, Init.data(),
+                                &Err);
+  ASSERT_NE(Buf, nullptr);
+  std::vector<float> Out(64, 0);
+  fclEnqueueReadBuffer(Queue, Buf, FCL_TRUE, 0, 64 * 4, Out.data());
+  EXPECT_EQ(Out, Init);
+}
+
+TEST_F(ShimTest, InvalidBufferArgumentsRejected) {
+  fcl_int Err = 0;
+  EXPECT_EQ(fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 0, nullptr, &Err),
+            nullptr);
+  EXPECT_EQ(Err, FCL_INVALID_VALUE);
+  EXPECT_EQ(fclCreateBuffer(nullptr, FCL_MEM_READ_WRITE, 16, nullptr, &Err),
+            nullptr);
+
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 16, nullptr, &Err);
+  uint8_t Byte = 0;
+  EXPECT_EQ(fclEnqueueWriteBuffer(Queue, Buf, FCL_TRUE, 0, 32, &Byte),
+            FCL_INVALID_VALUE);
+  EXPECT_EQ(fclEnqueueReadBuffer(Queue, nullptr, FCL_TRUE, 0, 16, &Byte),
+            FCL_INVALID_MEM_OBJECT);
+}
+
+TEST_F(ShimTest, UnknownKernelNameRejected) {
+  fcl_int Err = 0;
+  EXPECT_EQ(fclCreateKernel(Ctx, "definitely_not_a_kernel", &Err), nullptr);
+  EXPECT_EQ(Err, FCL_INVALID_KERNEL_NAME);
+}
+
+TEST_F(ShimTest, SetArgValidation) {
+  fcl_int Err = -1;
+  fcl_kernel K = fclCreateKernel(Ctx, "saxpy", &Err);
+  ASSERT_NE(K, nullptr);
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 128, nullptr, &Err);
+
+  // Wrong size for a buffer argument.
+  uint32_t Small = 0;
+  EXPECT_EQ(fclSetKernelArg(K, 0, sizeof(Small), &Small),
+            FCL_INVALID_VALUE);
+  // Out-of-range index.
+  EXPECT_EQ(fclSetKernelArg(K, 9, sizeof(fcl_mem), &Buf),
+            FCL_INVALID_VALUE);
+  // Unsupported scalar width.
+  uint8_t Tiny = 1;
+  EXPECT_EQ(fclSetKernelArg(K, 2, 1, &Tiny), FCL_INVALID_VALUE);
+  // Valid settings.
+  EXPECT_EQ(fclSetKernelArg(K, 0, sizeof(fcl_mem), &Buf), FCL_SUCCESS);
+  EXPECT_EQ(fclSetKernelArg(K, 1, sizeof(fcl_mem), &Buf), FCL_SUCCESS);
+  float Alpha = 2.0f;
+  EXPECT_EQ(fclSetKernelArg(K, 2, sizeof(Alpha), &Alpha), FCL_SUCCESS);
+  int64_t N = 32;
+  EXPECT_EQ(fclSetKernelArg(K, 3, sizeof(N), &N), FCL_SUCCESS);
+}
+
+TEST_F(ShimTest, LaunchRequiresAllArgsSet) {
+  fcl_int Err = -1;
+  fcl_kernel K = fclCreateKernel(Ctx, "vec_add", &Err);
+  size_t Global[1] = {64};
+  size_t Local[1] = {32};
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 1, nullptr, Global, Local),
+            FCL_INVALID_KERNEL_ARGS);
+}
+
+TEST_F(ShimTest, LaunchValidatesDimensions) {
+  fcl_int Err = -1;
+  fcl_kernel K = fclCreateKernel(Ctx, "vec_add", &Err);
+  size_t Global[1] = {64};
+  size_t Local[1] = {32};
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 0, nullptr, Global, Local),
+            FCL_INVALID_WORK_DIMENSION);
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 4, nullptr, Global, Local),
+            FCL_INVALID_WORK_DIMENSION);
+  size_t Offset[1] = {8};
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 1, Offset, Global, Local),
+            FCL_INVALID_VALUE);
+}
+
+TEST_F(ShimTest, EndToEndSaxpyCooperative) {
+  const int64_t N = 4096;
+  std::vector<float> X(N, 3.0f), Y(N, 1.0f);
+  fcl_int Err = -1;
+  fcl_mem BufX = fclCreateBuffer(Ctx, FCL_MEM_READ_ONLY,
+                                 static_cast<size_t>(N) * 4, X.data(), &Err);
+  fcl_mem BufY = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE,
+                                 static_cast<size_t>(N) * 4, Y.data(), &Err);
+  fcl_kernel K = fclCreateKernel(Ctx, "saxpy", &Err);
+  float Alpha = 2.0f;
+  fclSetKernelArg(K, 0, sizeof(fcl_mem), &BufX);
+  fclSetKernelArg(K, 1, sizeof(fcl_mem), &BufY);
+  fclSetKernelArg(K, 2, sizeof(Alpha), &Alpha);
+  fclSetKernelArg(K, 3, sizeof(int64_t), &N);
+  size_t Global[1] = {static_cast<size_t>(N)};
+  size_t Local[1] = {32};
+  ASSERT_EQ(fclEnqueueNDRangeKernel(Queue, K, 1, nullptr, Global, Local),
+            FCL_SUCCESS);
+  ASSERT_EQ(fclEnqueueReadBuffer(Queue, BufY, FCL_TRUE, 0,
+                                 static_cast<size_t>(N) * 4, Y.data()),
+            FCL_SUCCESS);
+  EXPECT_EQ(fclFinish(Queue), FCL_SUCCESS);
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_FLOAT_EQ(Y[static_cast<size_t>(I)], 7.0f);
+}
+
+TEST_F(ShimTest, TwoDimensionalLaunchViaShim) {
+  const int64_t N = 64;
+  std::vector<float> A(N * N, 0.5f), C(N * N, 1.0f);
+  fcl_int Err = -1;
+  fcl_mem BufA =
+      fclCreateBuffer(Ctx, FCL_MEM_READ_ONLY,
+                      static_cast<size_t>(N * N) * 4, A.data(), &Err);
+  fcl_mem BufC =
+      fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE,
+                      static_cast<size_t>(N * N) * 4, C.data(), &Err);
+  fcl_kernel K = fclCreateKernel(Ctx, "syrk_kernel", &Err);
+  float Alpha = 1.0f, Beta = 0.0f;
+  fclSetKernelArg(K, 0, sizeof(fcl_mem), &BufA);
+  fclSetKernelArg(K, 1, sizeof(fcl_mem), &BufC);
+  fclSetKernelArg(K, 2, sizeof(Alpha), &Alpha);
+  fclSetKernelArg(K, 3, sizeof(Beta), &Beta);
+  fclSetKernelArg(K, 4, sizeof(int64_t), &N);
+  fclSetKernelArg(K, 5, sizeof(int64_t), &N);
+  size_t Global[2] = {static_cast<size_t>(N), static_cast<size_t>(N)};
+  size_t Local[2] = {32, 8};
+  ASSERT_EQ(fclEnqueueNDRangeKernel(Queue, K, 2, nullptr, Global, Local),
+            FCL_SUCCESS);
+  fclEnqueueReadBuffer(Queue, BufC, FCL_TRUE, 0,
+                       static_cast<size_t>(N * N) * 4, C.data());
+  // C = A A^T with all entries 0.5: every element = N * 0.25.
+  for (float V : C)
+    EXPECT_FLOAT_EQ(V, static_cast<float>(N) * 0.25f);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- tests/paper_shapes_test.cpp - Paper-figure shape regressions --------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Locks in the qualitative shape of every paper table/figure so future
+/// changes to the runtime or the cost model cannot silently break the
+/// reproduction. Each test restates one claim from EXPERIMENTS.md as an
+/// assertion; the bench harnesses print the same quantities for humans.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "support/Statistics.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+double bestSplitPct(const Workload &W) {
+  RunConfig C;
+  double BestFrac = 0;
+  oracleStaticPartition(W, C, 10, &BestFrac);
+  return BestFrac * 100;
+}
+
+// --- Figure 2/3: split sweeps ------------------------------------------------
+
+TEST(PaperShapeTest, Fig2AtaxBestOnGpuAloneSyrkInterior) {
+  EXPECT_EQ(bestSplitPct(makeAtax(8192, 8192)), 100);
+  double Syrk = bestSplitPct(makeSyrk(1024, 1024));
+  EXPECT_GE(Syrk, 40);
+  EXPECT_LE(Syrk, 80);
+}
+
+TEST(PaperShapeTest, Fig3SyrkOptimumShiftsTowardCpuWithSize) {
+  double Small = bestSplitPct(makeSyrk(1024, 1024));
+  double Large = bestSplitPct(makeSyrk(2048, 2048));
+  EXPECT_GT(Small, Large); // ~60% -> ~40% GPU in the paper.
+  EXPECT_NEAR(Small, 60, 15);
+  EXPECT_NEAR(Large, 40, 15);
+}
+
+// --- Table 1: BICG per-kernel affinity ----------------------------------------
+
+TEST(PaperShapeTest, Table1BicgKernelsPreferDifferentDevices) {
+  Workload W = makeBicg(4096, 4096);
+  RunConfig C;
+  // Compare per-kernel preference through FluidiCL's observed flow.
+  mcl::Context Ctx(C.M, C.Mode);
+  fluidicl::Runtime RT(Ctx);
+  runWorkload(RT, W, false);
+  auto Stats = RT.kernelStats();
+  ASSERT_EQ(Stats.size(), 2u);
+  double Cpu1 = static_cast<double>(Stats[0].CpuGroupsExecuted) /
+                static_cast<double>(Stats[0].TotalGroups);
+  double Cpu2 = static_cast<double>(Stats[1].CpuGroupsExecuted) /
+                static_cast<double>(Stats[1].TotalGroups);
+  EXPECT_GT(Cpu1, 0.4); // Row-walk kernel flows CPU-ward.
+  EXPECT_LT(Cpu2, 0.3); // Column-walk kernel flows GPU-ward.
+}
+
+// --- Figure 13: overall -------------------------------------------------------
+
+struct OverallRow {
+  std::string Name;
+  double Cpu, Gpu, Fcl, Best;
+};
+
+const std::vector<OverallRow> &overall() {
+  static const std::vector<OverallRow> Rows = [] {
+    std::vector<OverallRow> Out;
+    RunConfig C;
+    for (const Workload &W : paperSuite()) {
+      OverallRow R;
+      R.Name = W.Name;
+      R.Cpu = timeUnder(RuntimeKind::CpuOnly, W, C).toSeconds();
+      R.Gpu = timeUnder(RuntimeKind::GpuOnly, W, C).toSeconds();
+      R.Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+      R.Best = std::min(R.Cpu, R.Gpu);
+      Out.push_back(R);
+    }
+    return Out;
+  }();
+  return Rows;
+}
+
+TEST(PaperShapeTest, Fig13WithinThreePercentOfBestEverywhere) {
+  for (const OverallRow &R : overall())
+    EXPECT_LE(R.Fcl, R.Best * 1.03) << R.Name;
+}
+
+TEST(PaperShapeTest, Fig13BeatsBestOnCooperativeBenchmarks) {
+  for (const OverallRow &R : overall()) {
+    if (R.Name.rfind("SYRK", 0) == 0 || R.Name.rfind("SYR2K", 0) == 0 ||
+        R.Name.rfind("BICG", 0) == 0) {
+      EXPECT_LT(R.Fcl, R.Best * 0.85) << R.Name;
+    }
+  }
+}
+
+TEST(PaperShapeTest, Fig13DeviceAffinitiesMatchPaper) {
+  for (const OverallRow &R : overall()) {
+    if (R.Name.rfind("GESUMMV", 0) == 0)
+      EXPECT_LT(R.Cpu, R.Gpu) << R.Name; // CPU-best benchmark.
+    else
+      EXPECT_LT(R.Gpu, R.Cpu) << R.Name; // All others GPU-best.
+  }
+}
+
+TEST(PaperShapeTest, Fig13GeomeansInPaperBallpark) {
+  std::vector<double> VsGpu, VsCpu, VsBest;
+  for (const OverallRow &R : overall()) {
+    VsGpu.push_back(R.Gpu / R.Fcl);
+    VsCpu.push_back(R.Cpu / R.Fcl);
+    VsBest.push_back(R.Best / R.Fcl);
+  }
+  // Paper: 1.64x / 1.88x / 1.24x. Allow generous-but-meaningful bands.
+  EXPECT_GT(geomean(VsGpu), 1.25);
+  EXPECT_GT(geomean(VsCpu), 1.5);
+  EXPECT_GT(geomean(VsBest), 1.15);
+  EXPECT_LT(geomean(VsBest), 1.6);
+}
+
+TEST(PaperShapeTest, Fig13FluidiclBeatsOracleOnSyrkFamily) {
+  RunConfig C;
+  for (const Workload &W : {makeSyrk(1024, 1024), makeSyr2k(1536, 1536)}) {
+    double Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    double Oracle = oracleStaticPartition(W, C).toSeconds();
+    EXPECT_LT(Fcl, Oracle) << W.Name;
+  }
+}
+
+// --- Figure 14: SYRK input sweep -----------------------------------------------
+
+TEST(PaperShapeTest, Fig14FluidiclBestAtEverySyrkSize) {
+  RunConfig C;
+  for (int64_t N : {512, 1024, 2048, 3072}) {
+    Workload W = makeSyrk(N, N);
+    double Cpu = timeUnder(RuntimeKind::CpuOnly, W, C).toSeconds();
+    double Gpu = timeUnder(RuntimeKind::GpuOnly, W, C).toSeconds();
+    double Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    EXPECT_LT(Fcl, std::min(Cpu, Gpu)) << N;
+  }
+}
+
+// --- Figure 15: optimization ablation -------------------------------------------
+
+TEST(PaperShapeTest, Fig15NoUnrollSlowsComputeBoundBenchmarks) {
+  for (const Workload &W :
+       {makeCorr(2048, 2048), makeSyrk(1024, 1024), makeSyr2k(1536, 1536)}) {
+    RunConfig C;
+    double AllOpt = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    C.FclOpts.LoopUnroll = false;
+    double NoUnroll = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    EXPECT_GT(NoUnroll, AllOpt * 1.3) << W.Name;
+  }
+}
+
+TEST(PaperShapeTest, Fig15InLoopAbortsHelpSyrkFamily) {
+  for (const Workload &W : {makeSyrk(1024, 1024), makeSyr2k(1536, 1536),
+                            makeBicg(4096, 4096)}) {
+    RunConfig C;
+    double AllOpt = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    C.FclOpts.AbortPolicy = hw::AbortPolicyKind::AtStart;
+    double AtStart = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    EXPECT_GT(AtStart, AllOpt * 1.05) << W.Name;
+  }
+}
+
+// --- Table 3: online profiling ---------------------------------------------------
+
+TEST(PaperShapeTest, Table3ProfilingSpeedsUpCorrSubstantially) {
+  Workload W = makeCorr(2048, 2048);
+  RunConfig C;
+  double Base = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+  C.FclOpts.OnlineProfiling = true;
+  double Pro = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+  // Paper: 1.9x; require at least 1.5x.
+  EXPECT_GT(Base / Pro, 1.5);
+}
+
+// --- Figure 16: SOCL ---------------------------------------------------------------
+
+TEST(PaperShapeTest, Fig16FluidiclBeatsEagerEverywhere) {
+  RunConfig C;
+  for (const Workload &W : paperSuite()) {
+    double Eager = timeUnder(RuntimeKind::SoclEager, W, C).toSeconds();
+    double Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    EXPECT_LT(Fcl, Eager * 1.001) << W.Name;
+  }
+}
+
+TEST(PaperShapeTest, Fig16FluidiclBeatsDmdaGeomeanWithoutCalibration) {
+  RunConfig C;
+  std::vector<double> VsDmda;
+  for (const Workload &W : paperSuite()) {
+    double Dmda = timeUnder(RuntimeKind::SoclDmda, W, C).toSeconds();
+    double Fcl = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    VsDmda.push_back(Dmda / Fcl);
+  }
+  EXPECT_GT(geomean(VsDmda), 1.1); // Paper: 1.26x.
+}
+
+// --- Figures 17/18: chunk sensitivity -------------------------------------------
+
+TEST(PaperShapeTest, Fig17LargeChunksHurtCooperativeBenchmarks) {
+  for (const Workload &W : {makeSyrk(1024, 1024), makeSyr2k(1536, 1536)}) {
+    RunConfig C;
+    double At2 = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    C.FclOpts.InitialChunkPct = 75;
+    double At75 = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    EXPECT_GT(At75, At2 * 1.15) << W.Name;
+  }
+}
+
+TEST(PaperShapeTest, Fig17DefaultWithinTenPercentOfBestChunk) {
+  for (const Workload &W : paperSuite()) {
+    RunConfig C;
+    double At2 = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    double Best = At2;
+    for (double Pct : {5.0, 10.0, 25.0, 50.0, 75.0}) {
+      C.FclOpts.InitialChunkPct = Pct;
+      Best = std::min(Best,
+                      timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds());
+    }
+    EXPECT_LE(At2, Best * 1.10) << W.Name;
+  }
+}
+
+TEST(PaperShapeTest, Fig18DefaultStepWithinTenPercentOfBest) {
+  for (const Workload &W : paperSuite()) {
+    RunConfig C;
+    C.FclOpts.StepPct = 2;
+    double At2 = timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds();
+    double Best = At2;
+    for (double Pct : {0.0, 5.0, 10.0, 25.0}) {
+      C.FclOpts.StepPct = Pct;
+      Best = std::min(Best,
+                      timeUnder(RuntimeKind::FluidiCL, W, C).toSeconds());
+    }
+    EXPECT_LE(At2, Best * 1.10) << W.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/robustness_test.cpp - API misuse and edge-case tests ----------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Programmatic-error handling (the library aborts with a diagnostic at
+/// the point of failure, per the coding standards) and degenerate-but-
+/// legal inputs across all runtimes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "runtime/SingleDevice.h"
+#include "runtime/StaticPartition.h"
+#include "socl/SoclRuntime.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+// --- API misuse aborts with diagnostics ----------------------------------------
+
+TEST(RobustnessDeathTest, UnknownKernelNameAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  EXPECT_DEATH(RT.launchKernel("no_such_kernel",
+                               kern::NDRange::of1D(32, 32), {}),
+               "unknown kernel");
+}
+
+TEST(RobustnessDeathTest, ArgumentArityMismatchAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  EXPECT_DEATH(
+      RT.launchKernel("vec_add", kern::NDRange::of1D(32, 32), {}),
+      "arity");
+}
+
+TEST(RobustnessDeathTest, InvalidBufferIdAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  EXPECT_DEATH(RT.writeBuffer(42, nullptr, 16), "invalid buffer");
+}
+
+TEST(RobustnessDeathTest, OversizedWriteAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  runtime::BufferId B = RT.createBuffer(64, "b");
+  EXPECT_DEATH(RT.writeBuffer(B, nullptr, 128), "overruns");
+}
+
+TEST(RobustnessDeathTest, ZeroSizedBufferAborts) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  fluidicl::Runtime RT(Ctx);
+  EXPECT_DEATH(RT.createBuffer(0, "zero"), "zero");
+}
+
+// --- Degenerate but legal inputs ------------------------------------------------
+
+/// Runs a one-group vec_add under every runtime kind.
+void runTinyEverywhere(mcl::ExecMode Mode) {
+  const int64_t N = 32;
+  std::vector<float> HA(N, 1.0f), HB(N, 2.0f), HC(N, 0.0f);
+  auto Drive = [&](runtime::HeteroRuntime &RT) {
+    runtime::BufferId A = RT.createBuffer(N * 4, "a");
+    runtime::BufferId B = RT.createBuffer(N * 4, "b");
+    runtime::BufferId C = RT.createBuffer(N * 4, "c");
+    RT.writeBuffer(A, HA.data(), N * 4);
+    RT.writeBuffer(B, HB.data(), N * 4);
+    RT.launchKernel("vec_add", kern::NDRange::of1D(N, 32),
+                    {runtime::KArg::buffer(A), runtime::KArg::buffer(B),
+                     runtime::KArg::buffer(C), runtime::KArg::i64(N)});
+    RT.readBuffer(C, HC.data(), N * 4);
+    RT.finish();
+    if (Mode == mcl::ExecMode::Functional) {
+      for (int64_t I = 0; I < N; ++I)
+        EXPECT_FLOAT_EQ(HC[static_cast<size_t>(I)], 3.0f);
+    }
+  };
+  {
+    mcl::Context Ctx(hw::paperMachine(), Mode);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
+    Drive(RT);
+  }
+  {
+    mcl::Context Ctx(hw::paperMachine(), Mode);
+    runtime::StaticPartitionRuntime RT(Ctx, 0.5);
+    Drive(RT);
+  }
+  {
+    mcl::Context Ctx(hw::paperMachine(), Mode);
+    fluidicl::Runtime RT(Ctx);
+    Drive(RT);
+  }
+  {
+    socl::PerfModel Model;
+    mcl::Context Ctx(hw::paperMachine(), Mode);
+    socl::SoclRuntime RT(Ctx, socl::Policy::Eager, Model);
+    Drive(RT);
+  }
+}
+
+TEST(RobustnessTest, SingleWorkGroupEveryRuntimeFunctional) {
+  runTinyEverywhere(mcl::ExecMode::Functional);
+}
+
+TEST(RobustnessTest, SingleWorkGroupEveryRuntimeTimingOnly) {
+  runTinyEverywhere(mcl::ExecMode::TimingOnly);
+}
+
+TEST(RobustnessTest, ReadBeforeAnyKernelReturnsWrittenData) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  runtime::BufferId B = RT.createBuffer(64, "b");
+  std::vector<uint8_t> Src(64);
+  for (size_t I = 0; I < Src.size(); ++I)
+    Src[I] = static_cast<uint8_t>(I * 3);
+  RT.writeBuffer(B, Src.data(), 64);
+  std::vector<uint8_t> Dst(64, 0);
+  RT.readBuffer(B, Dst.data(), 64);
+  EXPECT_EQ(Src, Dst);
+}
+
+TEST(RobustnessTest, BackToBackWritesLastOneWins) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  runtime::BufferId B = RT.createBuffer(16, "b");
+  uint32_t V1[4] = {1, 1, 1, 1}, V2[4] = {2, 2, 2, 2}, Out[4] = {0};
+  RT.writeBuffer(B, V1, 16);
+  RT.writeBuffer(B, V2, 16);
+  RT.readBuffer(B, Out, 16);
+  for (uint32_t V : Out)
+    EXPECT_EQ(V, 2u);
+}
+
+TEST(RobustnessTest, ManyBuffersManyKernels) {
+  // 16 buffers, 32 kernels round-robining over them; just must not wedge
+  // and must stay coherent.
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  const int64_t N = 64;
+  std::vector<runtime::BufferId> Bufs;
+  std::vector<float> Ones(N, 1.0f);
+  for (int I = 0; I < 16; ++I) {
+    Bufs.push_back(RT.createBuffer(N * 4, "b" + std::to_string(I)));
+    RT.writeBuffer(Bufs.back(), Ones.data(), N * 4);
+  }
+  for (int I = 0; I < 32; ++I) {
+    runtime::BufferId X = Bufs[static_cast<size_t>(I % 16)];
+    runtime::BufferId Y = Bufs[static_cast<size_t>((I + 1) % 16)];
+    RT.launchKernel("saxpy", kern::NDRange::of1D(N, 32),
+                    {runtime::KArg::buffer(X), runtime::KArg::buffer(Y),
+                     runtime::KArg::f64(0.5), runtime::KArg::i64(N)});
+  }
+  RT.finish();
+  // Spot check: every buffer still holds finite, positive values.
+  std::vector<float> Out(N);
+  for (runtime::BufferId B : Bufs) {
+    RT.readBuffer(B, Out.data(), N * 4);
+    for (float V : Out) {
+      EXPECT_TRUE(std::isfinite(V));
+      EXPECT_GT(V, 0.0f);
+    }
+  }
+}
+
+TEST(RobustnessTest, RuntimeReusableAfterFinish) {
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx);
+  for (int Round = 0; Round < 3; ++Round) {
+    RunResult Res = runWorkload(RT, testSuite()[4], true);
+    EXPECT_TRUE(Res.Valid) << Round;
+    RT.finish();
+  }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/sim_test.cpp - Discrete-event simulator tests -----------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace fcl;
+using namespace fcl::sim;
+
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator Sim;
+  EXPECT_EQ(Sim.now().nanos(), 0);
+  EXPECT_FALSE(Sim.hasPending());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.scheduleAfter(Duration::nanoseconds(30), [&] { Order.push_back(3); });
+  Sim.scheduleAfter(Duration::nanoseconds(10), [&] { Order.push_back(1); });
+  Sim.scheduleAfter(Duration::nanoseconds(20), [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Sim.now().nanos(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    Sim.scheduleAfter(Duration::nanoseconds(5), [&, I] { Order.push_back(I); });
+  Sim.run();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[static_cast<size_t>(I)], I);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator Sim;
+  TimePoint Seen;
+  Sim.scheduleAt(TimePoint(12345), [&] { Seen = Sim.now(); });
+  Sim.run();
+  EXPECT_EQ(Seen.nanos(), 12345);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.scheduleAfter(Duration::nanoseconds(10), [&] {
+    Order.push_back(1);
+    Sim.scheduleAfter(Duration::nanoseconds(5), [&] { Order.push_back(2); });
+  });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(Sim.now().nanos(), 15);
+}
+
+TEST(SimulatorTest, ZeroDelayEventFiresAtSameTime) {
+  Simulator Sim;
+  bool Ran = false;
+  Sim.scheduleAfter(Duration::zero(), [&] { Ran = true; });
+  Sim.run();
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(Sim.now().nanos(), 0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator Sim;
+  bool Ran = false;
+  EventId Id = Sim.scheduleAfter(Duration::nanoseconds(10), [&] { Ran = true; });
+  EXPECT_TRUE(Sim.cancel(Id));
+  Sim.run();
+  EXPECT_FALSE(Ran);
+}
+
+TEST(SimulatorTest, CancelReturnsFalseWhenAlreadyFired) {
+  Simulator Sim;
+  EventId Id = Sim.scheduleAfter(Duration::nanoseconds(1), [] {});
+  Sim.run();
+  EXPECT_FALSE(Sim.cancel(Id));
+}
+
+TEST(SimulatorTest, CancelTwiceIsNoOp) {
+  Simulator Sim;
+  EventId Id = Sim.scheduleAfter(Duration::nanoseconds(1), [] {});
+  EXPECT_TRUE(Sim.cancel(Id));
+  EXPECT_FALSE(Sim.cancel(Id));
+  Sim.run();
+}
+
+TEST(SimulatorTest, DefaultEventIdIsInvalid) {
+  Simulator Sim;
+  EXPECT_FALSE(Sim.cancel(EventId()));
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator Sim;
+  int Count = 0;
+  Sim.scheduleAfter(Duration::nanoseconds(1), [&] { ++Count; });
+  Sim.scheduleAfter(Duration::nanoseconds(2), [&] { ++Count; });
+  EXPECT_TRUE(Sim.step());
+  EXPECT_EQ(Count, 1);
+  EXPECT_TRUE(Sim.step());
+  EXPECT_EQ(Count, 2);
+  EXPECT_FALSE(Sim.step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.scheduleAfter(Duration::nanoseconds(10), [&] { Order.push_back(1); });
+  Sim.scheduleAfter(Duration::nanoseconds(30), [&] { Order.push_back(2); });
+  Sim.runUntil(TimePoint(20));
+  EXPECT_EQ(Order, (std::vector<int>{1}));
+  EXPECT_EQ(Sim.now().nanos(), 20);
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  Simulator Sim;
+  bool Ran = false;
+  Sim.scheduleAt(TimePoint(20), [&] { Ran = true; });
+  Sim.runUntil(TimePoint(20));
+  EXPECT_TRUE(Ran);
+}
+
+TEST(SimulatorTest, RunWhileNotStopsWhenPredicateHolds) {
+  Simulator Sim;
+  int Count = 0;
+  for (int I = 1; I <= 10; ++I)
+    Sim.scheduleAfter(Duration::nanoseconds(I), [&] { ++Count; });
+  bool Satisfied = Sim.runWhileNot([&] { return Count >= 4; });
+  EXPECT_TRUE(Satisfied);
+  EXPECT_EQ(Count, 4);
+}
+
+TEST(SimulatorTest, RunWhileNotReturnsFalseWhenQueueDrains) {
+  Simulator Sim;
+  Sim.scheduleAfter(Duration::nanoseconds(1), [] {});
+  EXPECT_FALSE(Sim.runWhileNot([] { return false; }));
+}
+
+TEST(SimulatorTest, RunWhileNotImmediateWhenAlreadyTrue) {
+  Simulator Sim;
+  bool Ran = false;
+  Sim.scheduleAfter(Duration::nanoseconds(1), [&] { Ran = true; });
+  EXPECT_TRUE(Sim.runWhileNot([] { return true; }));
+  EXPECT_FALSE(Ran);
+}
+
+TEST(SimulatorTest, EventsExecutedCounts) {
+  Simulator Sim;
+  for (int I = 0; I < 5; ++I)
+    Sim.scheduleAfter(Duration::nanoseconds(I), [] {});
+  Sim.run();
+  EXPECT_EQ(Sim.eventsExecuted(), 5u);
+}
+
+TEST(SimulatorTest, ManyCancellationsCompactWithoutLoss) {
+  Simulator Sim;
+  int Ran = 0;
+  std::vector<EventId> Ids;
+  // Interleave survivors and cancels at a scale that triggers compaction.
+  for (int I = 0; I < 5000; ++I) {
+    if (I % 2 == 0) {
+      Ids.push_back(
+          Sim.scheduleAfter(Duration::nanoseconds(I), [&] { ++Ran; }));
+    } else {
+      EventId Doomed =
+          Sim.scheduleAfter(Duration::nanoseconds(I), [&] { ++Ran; });
+      EXPECT_TRUE(Sim.cancel(Doomed));
+    }
+  }
+  // Cancel half of the survivors too.
+  for (size_t I = 0; I < Ids.size(); I += 2)
+    EXPECT_TRUE(Sim.cancel(Ids[I]));
+  Sim.run();
+  EXPECT_EQ(Ran, 1250);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator Sim;
+  Sim.scheduleAfter(Duration::nanoseconds(100), [] {});
+  Sim.run();
+  EXPECT_DEATH(Sim.scheduleAt(TimePoint(5), [] {}), "past");
+}
+
+TEST(SimulatorDeathTest, NegativeDelayAborts) {
+  Simulator Sim;
+  EXPECT_DEATH(Sim.scheduleAfter(Duration::nanoseconds(-1), [] {}),
+               "negative");
+}
+
+} // namespace

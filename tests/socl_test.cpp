@@ -1,0 +1,184 @@
+//===- tests/socl_test.cpp - SOCL comparison-runtime tests -----------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "socl/PerfModel.h"
+#include "socl/SoclRuntime.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fcl;
+using namespace fcl::socl;
+using namespace fcl::work;
+
+namespace {
+
+// --- PerfModel --------------------------------------------------------------
+
+TEST(PerfModelTest, EmptyModelHasNoEstimates) {
+  PerfModel M;
+  EXPECT_FALSE(M.estimate("k", 100, mcl::DeviceKind::Cpu).has_value());
+  EXPECT_FALSE(M.calibrated("k"));
+  EXPECT_EQ(M.sampleCount(), 0u);
+}
+
+TEST(PerfModelTest, ExactSizeEstimateAverages) {
+  PerfModel M;
+  M.record("k", 100, mcl::DeviceKind::Cpu, Duration::microseconds(10));
+  M.record("k", 100, mcl::DeviceKind::Cpu, Duration::microseconds(20));
+  auto E = M.estimate("k", 100, mcl::DeviceKind::Cpu);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->nanos(), 15000);
+  EXPECT_EQ(M.sampleCount(), 2u);
+}
+
+TEST(PerfModelTest, NearestSizeScalesLinearly) {
+  PerfModel M;
+  M.record("k", 100, mcl::DeviceKind::Gpu, Duration::microseconds(10));
+  auto E = M.estimate("k", 200, mcl::DeviceKind::Gpu);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->nanos(), 20000);
+}
+
+TEST(PerfModelTest, NearestSizePrefersClosestHistory) {
+  PerfModel M;
+  M.record("k", 100, mcl::DeviceKind::Gpu, Duration::microseconds(10));
+  M.record("k", 1000, mcl::DeviceKind::Gpu, Duration::microseconds(500));
+  // 900 is closer to 1000: scale the 1000-item sample.
+  auto E = M.estimate("k", 900, mcl::DeviceKind::Gpu);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->nanos(), 450000);
+}
+
+TEST(PerfModelTest, CalibratedNeedsBothDevices) {
+  PerfModel M;
+  M.record("k", 100, mcl::DeviceKind::Cpu, Duration::microseconds(10));
+  EXPECT_FALSE(M.calibrated("k"));
+  M.record("k", 50, mcl::DeviceKind::Gpu, Duration::microseconds(5));
+  EXPECT_TRUE(M.calibrated("k"));
+  EXPECT_FALSE(M.calibrated("other"));
+}
+
+TEST(PerfModelTest, DevicesKeptSeparate) {
+  PerfModel M;
+  M.record("k", 100, mcl::DeviceKind::Cpu, Duration::microseconds(100));
+  M.record("k", 100, mcl::DeviceKind::Gpu, Duration::microseconds(1));
+  EXPECT_EQ(M.estimate("k", 100, mcl::DeviceKind::Cpu)->nanos(), 100000);
+  EXPECT_EQ(M.estimate("k", 100, mcl::DeviceKind::Gpu)->nanos(), 1000);
+}
+
+// --- SoclRuntime -----------------------------------------------------------------
+
+class SoclWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<size_t, Policy>> {};
+
+TEST_P(SoclWorkloadTest, FunctionalMatchesReference) {
+  auto [Idx, P] = GetParam();
+  Workload W = testSuite()[Idx];
+  PerfModel Model;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  SoclRuntime RT(Ctx, P, Model);
+  RunResult Res = runWorkload(RT, W, /*Validate=*/true);
+  EXPECT_TRUE(Res.Valid) << W.Name << " under " << RT.name() << " err "
+                         << Res.MaxAbsError;
+}
+
+std::string soclTestName(
+    const ::testing::TestParamInfo<std::tuple<size_t, Policy>> &Info) {
+  static const char *Names[] = {"ATAX", "BICG",  "CORR",
+                                "GESUMMV", "SYRK", "SYR2K"};
+  return std::string(Names[std::get<0>(Info.param)]) +
+         (std::get<1>(Info.param) == Policy::Eager ? "_Eager" : "_Dmda");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsBothPolicies, SoclWorkloadTest,
+    ::testing::Combine(::testing::Range<size_t>(0, 6),
+                       ::testing::Values(Policy::Eager, Policy::Dmda)),
+    soclTestName);
+
+TEST(SoclRuntimeTest, EagerAlternatesDevices) {
+  Workload W = testSuite()[2]; // CORR: four kernels.
+  PerfModel Model;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  SoclRuntime RT(Ctx, Policy::Eager, Model);
+  runWorkload(RT, W, false);
+  ASSERT_EQ(RT.placements().size(), 4u);
+  EXPECT_EQ(RT.placements()[0], mcl::DeviceKind::Gpu);
+  EXPECT_EQ(RT.placements()[1], mcl::DeviceKind::Cpu);
+  EXPECT_EQ(RT.placements()[2], mcl::DeviceKind::Gpu);
+  EXPECT_EQ(RT.placements()[3], mcl::DeviceKind::Cpu);
+}
+
+TEST(SoclRuntimeTest, TaskSeedShiftsAlternation) {
+  Workload W = testSuite()[4]; // SYRK: one kernel.
+  PerfModel Model;
+  mcl::Context C1(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  SoclRuntime R1(C1, Policy::Eager, Model, false, /*TaskSeed=*/0);
+  runWorkload(R1, W, false);
+  mcl::Context C2(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  SoclRuntime R2(C2, Policy::Eager, Model, false, /*TaskSeed=*/1);
+  runWorkload(R2, W, false);
+  EXPECT_NE(R1.placements()[0], R2.placements()[0]);
+}
+
+TEST(SoclRuntimeTest, DmdaPicksPerKernelBestDeviceAfterCalibration) {
+  // BICG: kernel 1 prefers the CPU, kernel 2 the GPU (paper Table 1).
+  Workload W = makeBicg(4096, 4096);
+  PerfModel Model;
+  for (int I = 0; I < 10; ++I) {
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+    SoclRuntime RT(Ctx, Policy::Dmda, Model, /*Calibrating=*/true,
+                   /*TaskSeed=*/static_cast<uint64_t>(I));
+    runWorkload(RT, W, false);
+  }
+  EXPECT_TRUE(Model.calibrated("bicg_kernel1"));
+  EXPECT_TRUE(Model.calibrated("bicg_kernel2"));
+
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  SoclRuntime RT(Ctx, Policy::Dmda, Model);
+  runWorkload(RT, W, false);
+  ASSERT_EQ(RT.placements().size(), 2u);
+  EXPECT_EQ(RT.placements()[0], mcl::DeviceKind::Cpu);
+  EXPECT_EQ(RT.placements()[1], mcl::DeviceKind::Gpu);
+}
+
+TEST(SoclRuntimeTest, DmdaBeatsEagerOnGpuFriendlyWorkload) {
+  Workload W = makeAtax(8192, 8192);
+  RunConfig C;
+  double Eager = timeUnder(RuntimeKind::SoclEager, W, C).toSeconds();
+  double Dmda = timeUnder(RuntimeKind::SoclDmda, W, C).toSeconds();
+  EXPECT_LT(Dmda, Eager);
+}
+
+TEST(SoclRuntimeTest, DmdaTransferAwareness) {
+  // A kernel chain whose data already lives on the GPU keeps running there
+  // even when raw kernel speeds are close, because moving the data costs.
+  PerfModel Model;
+  // Make the devices look equally fast for the kernel itself.
+  Model.record("saxpy", 4096, mcl::DeviceKind::Cpu,
+               Duration::microseconds(100));
+  Model.record("saxpy", 4096, mcl::DeviceKind::Gpu,
+               Duration::microseconds(100));
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  SoclRuntime RT(Ctx, Policy::Dmda, Model, false, /*TaskSeed=*/1);
+  runtime::BufferId X = RT.createBuffer(16 << 20, "x");
+  runtime::BufferId Y = RT.createBuffer(16 << 20, "y");
+  RT.writeBuffer(X, nullptr, 16 << 20);
+  RT.writeBuffer(Y, nullptr, 16 << 20);
+  std::vector<runtime::KArg> Args = {runtime::KArg::buffer(X),
+                                     runtime::KArg::buffer(Y),
+                                     runtime::KArg::f64(2.0),
+                                     runtime::KArg::i64(4096)};
+  kern::NDRange Range = kern::NDRange::of1D(4096, 32);
+  RT.launchKernel("saxpy", Range, Args);
+  mcl::DeviceKind First = RT.placements()[0];
+  // Y (inout) now lives on that device; the next launch must stay put.
+  RT.launchKernel("saxpy", Range, Args);
+  EXPECT_EQ(RT.placements()[1], First);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/trace_test.cpp - Execution tracer tests -----------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Tracer.h"
+
+#include "fluidicl/Runtime.h"
+#include "mcl/CommandQueue.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace fcl;
+using namespace fcl::trace;
+
+namespace {
+
+TEST(TracerTest, RecordsSlices) {
+  Tracer T;
+  T.record("lane", "ev", TimePoint(100), TimePoint(300), "d");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T.events()[0].Lane, "lane");
+  EXPECT_EQ(T.events()[0].Name, "ev");
+  EXPECT_EQ(T.events()[0].duration().nanos(), 200);
+}
+
+TEST(TracerTest, LaneBusyAndFilter) {
+  Tracer T;
+  T.record("a", "x", TimePoint(0), TimePoint(10));
+  T.record("b", "y", TimePoint(0), TimePoint(100));
+  T.record("a", "z", TimePoint(20), TimePoint(25));
+  EXPECT_EQ(T.laneBusy("a").nanos(), 15);
+  EXPECT_EQ(T.laneBusy("b").nanos(), 100);
+  EXPECT_EQ(T.laneBusy("missing").nanos(), 0);
+  EXPECT_EQ(T.laneEvents("a").size(), 2u);
+}
+
+TEST(TracerTest, ClearEmpties) {
+  Tracer T;
+  T.record("a", "x", TimePoint(0), TimePoint(1));
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(TracerDeathTest, RejectsBackwardsSlice) {
+  Tracer T;
+  EXPECT_DEATH(T.record("a", "x", TimePoint(10), TimePoint(5)), "ends");
+}
+
+TEST(TracerTest, ChromeTraceContainsLanesAndEvents) {
+  Tracer T;
+  T.record("GPU", "kernel", TimePoint(1000), TimePoint(3000), "q=app");
+  std::string Json = T.renderChromeTrace();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("thread_name"), std::string::npos);
+  EXPECT_NE(Json.find("\"GPU\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kernel\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":2.000"), std::string::npos);
+}
+
+TEST(TracerTest, EscapesJsonSpecials) {
+  Tracer T;
+  T.record("la\"ne", "na\\me", TimePoint(0), TimePoint(1));
+  std::string Json = T.renderChromeTrace();
+  EXPECT_NE(Json.find("la\\\"ne"), std::string::npos);
+  EXPECT_NE(Json.find("na\\\\me"), std::string::npos);
+}
+
+TEST(TracerTest, WriteFileRoundTrip) {
+  Tracer T;
+  T.record("a", "x", TimePoint(0), TimePoint(1));
+  std::string Path = ::testing::TempDir() + "/fcl_trace_test.json";
+  ASSERT_TRUE(T.writeChromeTrace(Path));
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_EQ(SS.str(), T.renderChromeTrace());
+  std::remove(Path.c_str());
+}
+
+TEST(TracerIntegrationTest, QueueCommandsProduceSlices) {
+  Tracer T;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  Ctx.setTracer(&T);
+  auto Queue = Ctx.createQueue(Ctx.gpu(), "q");
+  auto Buf = Ctx.createBuffer(Ctx.gpu(), 4096);
+  Queue->enqueueWrite(*Buf, nullptr, 4096);
+  Queue->enqueueRead(*Buf, nullptr, 4096);
+  Queue->finish();
+  EXPECT_EQ(T.laneEvents("PCIe H2D").size(), 1u);
+  EXPECT_EQ(T.laneEvents("PCIe D2H").size(), 1u);
+  // The slice durations match the PCIe model.
+  EXPECT_EQ(T.laneEvents("PCIe H2D")[0].duration().nanos(),
+            Ctx.machine().Pcie.transferTime(4096).nanos());
+}
+
+TEST(TracerIntegrationTest, FluidiclScheduleVisibleOnAllLanes) {
+  Tracer T;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  Ctx.setTracer(&T);
+  fluidicl::Runtime RT(Ctx);
+  work::runWorkload(RT, work::makeSyrk(1024, 1024), false);
+  // GPU kernel + merge, CPU subkernels, data/status stream, DH readback.
+  EXPECT_GE(T.laneEvents("SimGPU").size(), 2u);
+  EXPECT_GE(T.laneEvents("SimCPU").size(), 3u);
+  EXPECT_GE(T.laneEvents("PCIe H2D").size(), 3u);
+  EXPECT_GE(T.laneEvents("PCIe D2H").size(), 1u);
+  EXPECT_GE(T.laneEvents("SimGPU copy").size(), 1u); // Orig snapshot.
+  // Subkernel slices carry the flat-range suffix.
+  bool SawSubkernel = false;
+  for (const TraceEvent &E : T.laneEvents("SimCPU"))
+    if (E.Name.find('[') != std::string::npos)
+      SawSubkernel = true;
+  EXPECT_TRUE(SawSubkernel);
+}
+
+TEST(TracerIntegrationTest, DetachStopsRecording) {
+  Tracer T;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  Ctx.setTracer(&T);
+  auto Queue = Ctx.createQueue(Ctx.gpu());
+  auto Buf = Ctx.createBuffer(Ctx.gpu(), 64);
+  Queue->enqueueWrite(*Buf, nullptr, 64);
+  Queue->finish();
+  size_t Before = T.size();
+  Ctx.setTracer(nullptr);
+  Queue->enqueueWrite(*Buf, nullptr, 64);
+  Queue->finish();
+  EXPECT_EQ(T.size(), Before);
+}
+
+} // namespace

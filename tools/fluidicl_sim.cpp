@@ -1,0 +1,223 @@
+//===- tools/fluidicl_sim.cpp - Command-line experiment driver -------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs any workload under any runtime configuration from the command
+/// line - the Swiss-army knife for exploring the reproduction:
+///
+///   fluidicl_sim --workload=syrk --size=1024 --runtime=all
+///   fluidicl_sim --workload=paper --runtime=fluidicl --chunk=5 --step=0
+///   fluidicl_sim --workload=bicg --runtime=fluidicl --functional
+///   fluidicl_sim --workload=syrk --runtime=fluidicl --cpu-load=4
+///   fluidicl_sim --workload=syrk --runtime=fluidicl --trace=out.json
+///
+//===----------------------------------------------------------------------===//
+
+#include "fluidicl/Runtime.h"
+#include "runtime/SingleDevice.h"
+#include "runtime/StaticPartition.h"
+#include "socl/SoclRuntime.h"
+#include "support/ArgParser.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "trace/Tracer.h"
+#include "work/Driver.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace fcl;
+using namespace fcl::work;
+
+namespace {
+
+/// Builds the requested workloads.
+std::vector<Workload> selectWorkloads(const std::string &Name, int64_t Size) {
+  if (Name == "paper")
+    return paperSuite();
+  if (Name == "extended")
+    return extendedSuite();
+  auto Sized = [Size](int64_t Default) { return Size > 0 ? Size : Default; };
+  if (Name == "atax")
+    return {makeAtax(Sized(8192), Sized(8192))};
+  if (Name == "bicg")
+    return {makeBicg(Sized(4096), Sized(4096))};
+  if (Name == "corr")
+    return {makeCorr(Sized(2048), Sized(2048))};
+  if (Name == "gesummv")
+    return {makeGesummv(Sized(4096))};
+  if (Name == "syrk")
+    return {makeSyrk(Sized(1024), Sized(1024))};
+  if (Name == "syr2k")
+    return {makeSyr2k(Sized(1536), Sized(1536))};
+  if (Name == "mvt")
+    return {makeMvt(Sized(4096))};
+  if (Name == "gemm")
+    return {makeGemm(Sized(1024), Sized(1024), Sized(1024))};
+  if (Name == "2mm")
+    return {make2mm(Sized(1024))};
+  return {};
+}
+
+struct ToolConfig {
+  hw::Machine M;
+  mcl::ExecMode Mode = mcl::ExecMode::TimingOnly;
+  fluidicl::Options FclOpts;
+  double GpuFraction = 0.5;
+  std::string TracePath;
+};
+
+/// Runs one workload under one named runtime; returns the result (or a
+/// zero-duration result if the runtime name is unknown).
+RunResult runOne(const std::string &Runtime, const Workload &W,
+                 const ToolConfig &Cfg, bool Validate) {
+  mcl::Context Ctx(Cfg.M, Cfg.Mode);
+  trace::Tracer Tracer;
+  if (!Cfg.TracePath.empty())
+    Ctx.setTracer(&Tracer);
+
+  RunResult Res;
+  if (Runtime == "cpu") {
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
+    Res = runWorkload(RT, W, Validate);
+  } else if (Runtime == "gpu") {
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Gpu);
+    Res = runWorkload(RT, W, Validate);
+  } else if (Runtime == "static") {
+    runtime::StaticPartitionRuntime RT(Ctx, Cfg.GpuFraction);
+    Res = runWorkload(RT, W, Validate);
+  } else if (Runtime == "socl-eager") {
+    socl::PerfModel Model;
+    socl::SoclRuntime RT(Ctx, socl::Policy::Eager, Model);
+    Res = runWorkload(RT, W, Validate);
+  } else if (Runtime == "socl-dmda") {
+    socl::PerfModel Model;
+    for (int I = 0; I < 10; ++I) {
+      mcl::Context CalCtx(Cfg.M, Cfg.Mode);
+      socl::SoclRuntime Cal(CalCtx, socl::Policy::Dmda, Model, true,
+                            static_cast<uint64_t>(I));
+      runWorkload(Cal, W, false);
+    }
+    socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model);
+    Res = runWorkload(RT, W, Validate);
+  } else if (Runtime == "fluidicl") {
+    fluidicl::Runtime RT(Ctx, Cfg.FclOpts);
+    Res = runWorkload(RT, W, Validate);
+    for (const fluidicl::KernelStats &S : RT.kernelStats())
+      std::printf("    %-22s cpu %6llu / gpu %6llu of %6llu groups, "
+                  "%llu subkernels, chunk -> %.0f%%%s\n",
+                  S.KernelName.c_str(),
+                  static_cast<unsigned long long>(S.CpuGroupsExecuted),
+                  static_cast<unsigned long long>(S.GpuGroupsExecuted),
+                  static_cast<unsigned long long>(S.TotalGroups),
+                  static_cast<unsigned long long>(S.CpuSubkernels),
+                  S.FinalChunkPct,
+                  S.CpuRanEverything ? " (CPU ran everything)" : "");
+  } else {
+    std::fprintf(stderr, "unknown runtime '%s'\n", Runtime.c_str());
+    return Res;
+  }
+
+  if (!Cfg.TracePath.empty()) {
+    if (Tracer.writeChromeTrace(Cfg.TracePath))
+      std::printf("    trace written to %s (%zu slices)\n",
+                  Cfg.TracePath.c_str(), Tracer.size());
+    else
+      std::fprintf(stderr, "could not write trace to %s\n",
+                   Cfg.TracePath.c_str());
+  }
+  return Res;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("fluidicl_sim",
+                 "run FluidiCL reproduction workloads under any runtime");
+  Args.addOption("workload",
+                 "atax|bicg|corr|gesummv|syrk|syr2k|mvt|gemm|2mm|paper|"
+                 "extended",
+                 "paper");
+  Args.addOption("size", "problem size override (0 = workload default)",
+                 "0");
+  Args.addOption("runtime", "cpu|gpu|static|socl-eager|socl-dmda|fluidicl|all",
+                 "all");
+  Args.addOption("gpu-fraction", "GPU share for --runtime=static", "0.5");
+  Args.addOption("chunk", "FluidiCL initial chunk percent", "2");
+  Args.addOption("step", "FluidiCL chunk step percent", "2");
+  Args.addFlag("no-abort-in-loops", "abort checks only at work-group start");
+  Args.addFlag("no-unroll", "disable manual unrolling after abort checks");
+  Args.addFlag("no-split", "disable CPU work-group splitting");
+  Args.addFlag("no-pool", "disable the GPU buffer pool");
+  Args.addFlag("no-location", "disable data-location tracking");
+  Args.addFlag("profiling", "enable online kernel-variant profiling");
+  Args.addOption("cpu-load", "external CPU slowdown factor", "1");
+  Args.addOption("gpu-load", "external GPU slowdown factor", "1");
+  Args.addFlag("functional", "execute kernels for real and validate");
+  Args.addOption("trace", "write a Chrome trace JSON to this path", "");
+
+  if (!Args.parse(Argc - 1, Argv + 1)) {
+    std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
+                 Args.helpText().c_str());
+    return 1;
+  }
+  if (Args.helpRequested()) {
+    std::printf("%s", Args.helpText().c_str());
+    return 0;
+  }
+
+  ToolConfig Cfg;
+  Cfg.M = hw::paperMachine();
+  Cfg.M.CpuLoadFactor = Args.f64("cpu-load");
+  Cfg.M.GpuLoadFactor = Args.f64("gpu-load");
+  Cfg.Mode = Args.flag("functional") ? mcl::ExecMode::Functional
+                                     : mcl::ExecMode::TimingOnly;
+  Cfg.GpuFraction = Args.f64("gpu-fraction");
+  Cfg.FclOpts.InitialChunkPct = Args.f64("chunk");
+  Cfg.FclOpts.StepPct = Args.f64("step");
+  if (Args.flag("no-abort-in-loops"))
+    Cfg.FclOpts.AbortPolicy = hw::AbortPolicyKind::AtStart;
+  Cfg.FclOpts.LoopUnroll = !Args.flag("no-unroll");
+  Cfg.FclOpts.CpuWorkGroupSplit = !Args.flag("no-split");
+  Cfg.FclOpts.BufferPool = !Args.flag("no-pool");
+  Cfg.FclOpts.DataLocationTracking = !Args.flag("no-location");
+  Cfg.FclOpts.OnlineProfiling = Args.flag("profiling");
+  Cfg.TracePath = Args.str("trace");
+
+  std::vector<Workload> Loads =
+      selectWorkloads(Args.str("workload"), Args.i64("size"));
+  if (Loads.empty()) {
+    std::fprintf(stderr, "unknown workload '%s'\n%s",
+                 Args.str("workload").c_str(), Args.helpText().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> Runtimes;
+  if (Args.str("runtime") == "all")
+    Runtimes = {"cpu", "gpu", "static", "socl-eager", "socl-dmda",
+                "fluidicl"};
+  else
+    Runtimes = {Args.str("runtime")};
+
+  bool Validate = Args.flag("functional");
+  bool AnyInvalid = false;
+  for (const Workload &W : Loads) {
+    std::printf("== %s - %s\n", W.Name.c_str(), W.Summary.c_str());
+    Table T({"runtime", "total (s)", Validate ? "validated" : ""});
+    for (const std::string &R : Runtimes) {
+      RunResult Res = runOne(R, W, Cfg, Validate);
+      std::string Check;
+      if (Res.Validated) {
+        Check = Res.Valid ? "ok" : "FAILED";
+        if (!Res.Valid)
+          AnyInvalid = true;
+      }
+      T.addRow({R, formatString("%.6f", Res.Total.toSeconds()), Check});
+    }
+    T.print();
+    std::printf("\n");
+  }
+  return AnyInvalid ? 1 : 0;
+}
