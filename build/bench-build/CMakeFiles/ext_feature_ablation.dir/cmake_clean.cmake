@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_feature_ablation"
+  "../bench/ext_feature_ablation.pdb"
+  "CMakeFiles/ext_feature_ablation.dir/ext_feature_ablation.cpp.o"
+  "CMakeFiles/ext_feature_ablation.dir/ext_feature_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_feature_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_portability"
+  "../bench/ext_portability.pdb"
+  "CMakeFiles/ext_portability.dir/ext_portability.cpp.o"
+  "CMakeFiles/ext_portability.dir/ext_portability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_qilin_compare"
+  "../bench/ext_qilin_compare.pdb"
+  "CMakeFiles/ext_qilin_compare.dir/ext_qilin_compare.cpp.o"
+  "CMakeFiles/ext_qilin_compare.dir/ext_qilin_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qilin_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_region_transfers"
+  "../bench/ext_region_transfers.pdb"
+  "CMakeFiles/ext_region_transfers.dir/ext_region_transfers.cpp.o"
+  "CMakeFiles/ext_region_transfers.dir/ext_region_transfers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_xeon_phi"
+  "../bench/ext_xeon_phi.pdb"
+  "CMakeFiles/ext_xeon_phi.dir/ext_xeon_phi.cpp.o"
+  "CMakeFiles/ext_xeon_phi.dir/ext_xeon_phi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_xeon_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

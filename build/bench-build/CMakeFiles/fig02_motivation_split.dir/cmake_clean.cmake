@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_motivation_split"
+  "../bench/fig02_motivation_split.pdb"
+  "CMakeFiles/fig02_motivation_split.dir/fig02_motivation_split.cpp.o"
+  "CMakeFiles/fig02_motivation_split.dir/fig02_motivation_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

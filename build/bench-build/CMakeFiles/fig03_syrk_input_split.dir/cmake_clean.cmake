@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_syrk_input_split"
+  "../bench/fig03_syrk_input_split.pdb"
+  "CMakeFiles/fig03_syrk_input_split.dir/fig03_syrk_input_split.cpp.o"
+  "CMakeFiles/fig03_syrk_input_split.dir/fig03_syrk_input_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_syrk_input_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

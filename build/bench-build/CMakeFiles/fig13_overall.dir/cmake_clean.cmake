@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_overall"
+  "../bench/fig13_overall.pdb"
+  "CMakeFiles/fig13_overall.dir/fig13_overall.cpp.o"
+  "CMakeFiles/fig13_overall.dir/fig13_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

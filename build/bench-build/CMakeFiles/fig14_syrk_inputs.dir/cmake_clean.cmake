@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_syrk_inputs"
+  "../bench/fig14_syrk_inputs.pdb"
+  "CMakeFiles/fig14_syrk_inputs.dir/fig14_syrk_inputs.cpp.o"
+  "CMakeFiles/fig14_syrk_inputs.dir/fig14_syrk_inputs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_syrk_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_opt_ablation"
+  "../bench/fig15_opt_ablation.pdb"
+  "CMakeFiles/fig15_opt_ablation.dir/fig15_opt_ablation.cpp.o"
+  "CMakeFiles/fig15_opt_ablation.dir/fig15_opt_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_opt_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_socl_compare"
+  "../bench/fig16_socl_compare.pdb"
+  "CMakeFiles/fig16_socl_compare.dir/fig16_socl_compare.cpp.o"
+  "CMakeFiles/fig16_socl_compare.dir/fig16_socl_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_socl_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

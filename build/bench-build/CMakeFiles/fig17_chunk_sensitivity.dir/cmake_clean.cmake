@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_chunk_sensitivity"
+  "../bench/fig17_chunk_sensitivity.pdb"
+  "CMakeFiles/fig17_chunk_sensitivity.dir/fig17_chunk_sensitivity.cpp.o"
+  "CMakeFiles/fig17_chunk_sensitivity.dir/fig17_chunk_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_chunk_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_step_sensitivity"
+  "../bench/fig18_step_sensitivity.pdb"
+  "CMakeFiles/fig18_step_sensitivity.dir/fig18_step_sensitivity.cpp.o"
+  "CMakeFiles/fig18_step_sensitivity.dir/fig18_step_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_step_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_runtime_overheads"
+  "../bench/micro_runtime_overheads.pdb"
+  "CMakeFiles/micro_runtime_overheads.dir/micro_runtime_overheads.cpp.o"
+  "CMakeFiles/micro_runtime_overheads.dir/micro_runtime_overheads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runtime_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

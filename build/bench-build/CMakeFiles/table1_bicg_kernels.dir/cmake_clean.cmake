@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_bicg_kernels"
+  "../bench/table1_bicg_kernels.pdb"
+  "CMakeFiles/table1_bicg_kernels.dir/table1_bicg_kernels.cpp.o"
+  "CMakeFiles/table1_bicg_kernels.dir/table1_bicg_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bicg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

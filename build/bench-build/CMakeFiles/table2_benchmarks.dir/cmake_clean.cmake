@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_benchmarks"
+  "../bench/table2_benchmarks.pdb"
+  "CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cpp.o"
+  "CMakeFiles/table2_benchmarks.dir/table2_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

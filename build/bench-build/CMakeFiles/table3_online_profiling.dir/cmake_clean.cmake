@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_online_profiling"
+  "../bench/table3_online_profiling.pdb"
+  "CMakeFiles/table3_online_profiling.dir/table3_online_profiling.cpp.o"
+  "CMakeFiles/table3_online_profiling.dir/table3_online_profiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_online_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

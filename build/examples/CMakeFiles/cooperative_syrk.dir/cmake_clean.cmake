@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_syrk.dir/cooperative_syrk.cpp.o"
+  "CMakeFiles/cooperative_syrk.dir/cooperative_syrk.cpp.o.d"
+  "cooperative_syrk"
+  "cooperative_syrk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_syrk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

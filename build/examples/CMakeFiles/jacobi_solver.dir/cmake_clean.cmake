@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_solver.dir/jacobi_solver.cpp.o"
+  "CMakeFiles/jacobi_solver.dir/jacobi_solver.cpp.o.d"
+  "jacobi_solver"
+  "jacobi_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_adaptation.dir/load_adaptation.cpp.o"
+  "CMakeFiles/load_adaptation.dir/load_adaptation.cpp.o.d"
+  "load_adaptation"
+  "load_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikernel_bicg.dir/multikernel_bicg.cpp.o"
+  "CMakeFiles/multikernel_bicg.dir/multikernel_bicg.cpp.o.d"
+  "multikernel_bicg"
+  "multikernel_bicg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikernel_bicg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

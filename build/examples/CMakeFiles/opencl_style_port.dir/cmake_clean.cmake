@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_style_port.dir/opencl_style_port.cpp.o"
+  "CMakeFiles/opencl_style_port.dir/opencl_style_port.cpp.o.d"
+  "opencl_style_port"
+  "opencl_style_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_style_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_cooperative.dir/trace_cooperative.cpp.o"
+  "CMakeFiles/trace_cooperative.dir/trace_cooperative.cpp.o.d"
+  "trace_cooperative"
+  "trace_cooperative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_cooperative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluidicl/BufferPool.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/BufferPool.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/BufferPool.cpp.o.d"
+  "/root/repo/src/fluidicl/ChunkController.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/ChunkController.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/ChunkController.cpp.o.d"
+  "/root/repo/src/fluidicl/KernelExec.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/KernelExec.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/KernelExec.cpp.o.d"
+  "/root/repo/src/fluidicl/OnlineProfiler.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/OnlineProfiler.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/OnlineProfiler.cpp.o.d"
+  "/root/repo/src/fluidicl/OpenCLShim.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/OpenCLShim.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/OpenCLShim.cpp.o.d"
+  "/root/repo/src/fluidicl/Runtime.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/Runtime.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/Runtime.cpp.o.d"
+  "/root/repo/src/fluidicl/VersionTracker.cpp" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/VersionTracker.cpp.o" "gcc" "src/CMakeFiles/fcl_fluidicl.dir/fluidicl/VersionTracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_mcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

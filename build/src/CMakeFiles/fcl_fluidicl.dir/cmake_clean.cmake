@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/BufferPool.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/BufferPool.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/ChunkController.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/ChunkController.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/KernelExec.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/KernelExec.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/OnlineProfiler.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/OnlineProfiler.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/OpenCLShim.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/OpenCLShim.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/Runtime.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/Runtime.cpp.o.d"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/VersionTracker.cpp.o"
+  "CMakeFiles/fcl_fluidicl.dir/fluidicl/VersionTracker.cpp.o.d"
+  "libfcl_fluidicl.a"
+  "libfcl_fluidicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_fluidicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

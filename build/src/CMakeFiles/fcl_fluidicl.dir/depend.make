@@ -1,0 +1,2 @@
+# Empty dependencies file for fcl_fluidicl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_hw.dir/hw/CostModel.cpp.o"
+  "CMakeFiles/fcl_hw.dir/hw/CostModel.cpp.o.d"
+  "CMakeFiles/fcl_hw.dir/hw/Machine.cpp.o"
+  "CMakeFiles/fcl_hw.dir/hw/Machine.cpp.o.d"
+  "libfcl_hw.a"
+  "libfcl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

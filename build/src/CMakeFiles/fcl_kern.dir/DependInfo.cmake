@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/Kernel.cpp" "src/CMakeFiles/fcl_kern.dir/kern/Kernel.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/Kernel.cpp.o.d"
+  "/root/repo/src/kern/Merge.cpp" "src/CMakeFiles/fcl_kern.dir/kern/Merge.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/Merge.cpp.o.d"
+  "/root/repo/src/kern/NDRange.cpp" "src/CMakeFiles/fcl_kern.dir/kern/NDRange.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/NDRange.cpp.o.d"
+  "/root/repo/src/kern/Registry.cpp" "src/CMakeFiles/fcl_kern.dir/kern/Registry.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/Registry.cpp.o.d"
+  "/root/repo/src/kern/polybench/Atax.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Atax.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Atax.cpp.o.d"
+  "/root/repo/src/kern/polybench/Bicg.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Bicg.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Bicg.cpp.o.d"
+  "/root/repo/src/kern/polybench/Corr.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Corr.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Corr.cpp.o.d"
+  "/root/repo/src/kern/polybench/Covar.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Covar.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Covar.cpp.o.d"
+  "/root/repo/src/kern/polybench/Gemm.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Gemm.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Gemm.cpp.o.d"
+  "/root/repo/src/kern/polybench/Gesummv.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Gesummv.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Gesummv.cpp.o.d"
+  "/root/repo/src/kern/polybench/Jacobi.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Jacobi.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Jacobi.cpp.o.d"
+  "/root/repo/src/kern/polybench/Mvt.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Mvt.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Mvt.cpp.o.d"
+  "/root/repo/src/kern/polybench/Syr2k.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Syr2k.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Syr2k.cpp.o.d"
+  "/root/repo/src/kern/polybench/Syrk.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Syrk.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Syrk.cpp.o.d"
+  "/root/repo/src/kern/polybench/Vector.cpp" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Vector.cpp.o" "gcc" "src/CMakeFiles/fcl_kern.dir/kern/polybench/Vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

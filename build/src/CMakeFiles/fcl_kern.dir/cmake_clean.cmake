@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_kern.dir/kern/Kernel.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/Kernel.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/Merge.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/Merge.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/NDRange.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/NDRange.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/Registry.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/Registry.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Atax.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Atax.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Bicg.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Bicg.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Corr.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Corr.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Covar.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Covar.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Gemm.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Gemm.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Gesummv.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Gesummv.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Jacobi.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Jacobi.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Mvt.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Mvt.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Syr2k.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Syr2k.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Syrk.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Syrk.cpp.o.d"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Vector.cpp.o"
+  "CMakeFiles/fcl_kern.dir/kern/polybench/Vector.cpp.o.d"
+  "libfcl_kern.a"
+  "libfcl_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

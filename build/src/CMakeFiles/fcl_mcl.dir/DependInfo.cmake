@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcl/Buffer.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Buffer.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Buffer.cpp.o.d"
+  "/root/repo/src/mcl/CommandQueue.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/CommandQueue.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/CommandQueue.cpp.o.d"
+  "/root/repo/src/mcl/Context.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Context.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Context.cpp.o.d"
+  "/root/repo/src/mcl/CpuEngine.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/CpuEngine.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/CpuEngine.cpp.o.d"
+  "/root/repo/src/mcl/Device.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Device.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Device.cpp.o.d"
+  "/root/repo/src/mcl/Event.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Event.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Event.cpp.o.d"
+  "/root/repo/src/mcl/GpuEngine.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/GpuEngine.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/GpuEngine.cpp.o.d"
+  "/root/repo/src/mcl/Platform.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Platform.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Platform.cpp.o.d"
+  "/root/repo/src/mcl/Program.cpp" "src/CMakeFiles/fcl_mcl.dir/mcl/Program.cpp.o" "gcc" "src/CMakeFiles/fcl_mcl.dir/mcl/Program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_mcl.dir/mcl/Buffer.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Buffer.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/CommandQueue.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/CommandQueue.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/Context.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Context.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/CpuEngine.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/CpuEngine.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/Device.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Device.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/Event.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Event.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/GpuEngine.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/GpuEngine.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/Platform.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Platform.cpp.o.d"
+  "CMakeFiles/fcl_mcl.dir/mcl/Program.cpp.o"
+  "CMakeFiles/fcl_mcl.dir/mcl/Program.cpp.o.d"
+  "libfcl_mcl.a"
+  "libfcl_mcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_mcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_runtime.dir/runtime/HeteroRuntime.cpp.o"
+  "CMakeFiles/fcl_runtime.dir/runtime/HeteroRuntime.cpp.o.d"
+  "CMakeFiles/fcl_runtime.dir/runtime/ManagedBuffer.cpp.o"
+  "CMakeFiles/fcl_runtime.dir/runtime/ManagedBuffer.cpp.o.d"
+  "CMakeFiles/fcl_runtime.dir/runtime/ProfiledSplit.cpp.o"
+  "CMakeFiles/fcl_runtime.dir/runtime/ProfiledSplit.cpp.o.d"
+  "CMakeFiles/fcl_runtime.dir/runtime/SingleDevice.cpp.o"
+  "CMakeFiles/fcl_runtime.dir/runtime/SingleDevice.cpp.o.d"
+  "CMakeFiles/fcl_runtime.dir/runtime/StaticPartition.cpp.o"
+  "CMakeFiles/fcl_runtime.dir/runtime/StaticPartition.cpp.o.d"
+  "libfcl_runtime.a"
+  "libfcl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_sim.dir/sim/Simulator.cpp.o"
+  "CMakeFiles/fcl_sim.dir/sim/Simulator.cpp.o.d"
+  "libfcl_sim.a"
+  "libfcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_socl.dir/socl/PerfModel.cpp.o"
+  "CMakeFiles/fcl_socl.dir/socl/PerfModel.cpp.o.d"
+  "CMakeFiles/fcl_socl.dir/socl/SoclRuntime.cpp.o"
+  "CMakeFiles/fcl_socl.dir/socl/SoclRuntime.cpp.o.d"
+  "libfcl_socl.a"
+  "libfcl_socl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_socl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ArgParser.cpp" "src/CMakeFiles/fcl_support.dir/support/ArgParser.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/ArgParser.cpp.o.d"
+  "/root/repo/src/support/Csv.cpp" "src/CMakeFiles/fcl_support.dir/support/Csv.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Csv.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/CMakeFiles/fcl_support.dir/support/Error.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Error.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/fcl_support.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Log.cpp" "src/CMakeFiles/fcl_support.dir/support/Log.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Log.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/fcl_support.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/fcl_support.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/fcl_support.dir/support/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

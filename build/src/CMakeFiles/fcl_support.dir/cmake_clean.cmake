@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_support.dir/support/ArgParser.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/ArgParser.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Csv.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Csv.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Error.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Error.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Format.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Format.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Log.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Log.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Statistics.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Statistics.cpp.o.d"
+  "CMakeFiles/fcl_support.dir/support/Table.cpp.o"
+  "CMakeFiles/fcl_support.dir/support/Table.cpp.o.d"
+  "libfcl_support.a"
+  "libfcl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

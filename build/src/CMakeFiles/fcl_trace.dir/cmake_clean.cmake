@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_trace.dir/trace/Tracer.cpp.o"
+  "CMakeFiles/fcl_trace.dir/trace/Tracer.cpp.o.d"
+  "libfcl_trace.a"
+  "libfcl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcl_work.dir/work/Driver.cpp.o"
+  "CMakeFiles/fcl_work.dir/work/Driver.cpp.o.d"
+  "CMakeFiles/fcl_work.dir/work/Polybench.cpp.o"
+  "CMakeFiles/fcl_work.dir/work/Polybench.cpp.o.d"
+  "CMakeFiles/fcl_work.dir/work/Workload.cpp.o"
+  "CMakeFiles/fcl_work.dir/work/Workload.cpp.o.d"
+  "libfcl_work.a"
+  "libfcl_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcl_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidicl_integration_test.dir/fluidicl_integration_test.cpp.o"
+  "CMakeFiles/fluidicl_integration_test.dir/fluidicl_integration_test.cpp.o.d"
+  "fluidicl_integration_test"
+  "fluidicl_integration_test.pdb"
+  "fluidicl_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidicl_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

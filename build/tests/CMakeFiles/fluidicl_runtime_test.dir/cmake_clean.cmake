@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidicl_runtime_test.dir/fluidicl_runtime_test.cpp.o"
+  "CMakeFiles/fluidicl_runtime_test.dir/fluidicl_runtime_test.cpp.o.d"
+  "fluidicl_runtime_test"
+  "fluidicl_runtime_test.pdb"
+  "fluidicl_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidicl_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidicl_unit_test.dir/fluidicl_unit_test.cpp.o"
+  "CMakeFiles/fluidicl_unit_test.dir/fluidicl_unit_test.cpp.o.d"
+  "fluidicl_unit_test"
+  "fluidicl_unit_test.pdb"
+  "fluidicl_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidicl_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_polybench_test.dir/kern_polybench_test.cpp.o"
+  "CMakeFiles/kern_polybench_test.dir/kern_polybench_test.cpp.o.d"
+  "kern_polybench_test"
+  "kern_polybench_test.pdb"
+  "kern_polybench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_polybench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

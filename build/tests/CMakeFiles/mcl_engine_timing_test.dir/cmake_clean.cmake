@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_engine_timing_test.dir/mcl_engine_timing_test.cpp.o"
+  "CMakeFiles/mcl_engine_timing_test.dir/mcl_engine_timing_test.cpp.o.d"
+  "mcl_engine_timing_test"
+  "mcl_engine_timing_test.pdb"
+  "mcl_engine_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_engine_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_program_test.dir/mcl_program_test.cpp.o"
+  "CMakeFiles/mcl_program_test.dir/mcl_program_test.cpp.o.d"
+  "mcl_program_test"
+  "mcl_program_test.pdb"
+  "mcl_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

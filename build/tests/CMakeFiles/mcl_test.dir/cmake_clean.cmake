@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcl_test.dir/mcl_test.cpp.o"
+  "CMakeFiles/mcl_test.dir/mcl_test.cpp.o.d"
+  "mcl_test"
+  "mcl_test.pdb"
+  "mcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndrange_test.dir/ndrange_test.cpp.o"
+  "CMakeFiles/ndrange_test.dir/ndrange_test.cpp.o.d"
+  "ndrange_test"
+  "ndrange_test.pdb"
+  "ndrange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndrange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_shim_test.dir/opencl_shim_test.cpp.o"
+  "CMakeFiles/opencl_shim_test.dir/opencl_shim_test.cpp.o.d"
+  "opencl_shim_test"
+  "opencl_shim_test.pdb"
+  "opencl_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

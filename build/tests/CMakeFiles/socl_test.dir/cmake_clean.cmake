@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socl_test.dir/socl_test.cpp.o"
+  "CMakeFiles/socl_test.dir/socl_test.cpp.o.d"
+  "socl_test"
+  "socl_test.pdb"
+  "socl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/ndrange_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_polybench_test[1]_include.cmake")
+include("/root/repo/build/tests/mcl_test[1]_include.cmake")
+include("/root/repo/build/tests/fluidicl_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/fluidicl_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/socl_test[1]_include.cmake")
+include("/root/repo/build/tests/fluidicl_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/property_random_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/opencl_shim_test[1]_include.cmake")
+include("/root/repo/build/tests/mcl_program_test[1]_include.cmake")
+include("/root/repo/build/tests/mcl_engine_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_property_test[1]_include.cmake")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fluidicl_sim.cpp" "tools/CMakeFiles/fluidicl_sim.dir/fluidicl_sim.cpp.o" "gcc" "tools/CMakeFiles/fluidicl_sim.dir/fluidicl_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fcl_work.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_fluidicl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_socl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_mcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fcl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluidicl_sim.dir/fluidicl_sim.cpp.o"
+  "CMakeFiles/fluidicl_sim.dir/fluidicl_sim.cpp.o.d"
+  "fluidicl_sim"
+  "fluidicl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluidicl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
