@@ -14,12 +14,14 @@
 #ifndef FCL_BENCH_BENCHUTIL_H
 #define FCL_BENCH_BENCHUTIL_H
 
+#include "stats/Report.h"
 #include "support/Csv.h"
 #include "support/Format.h"
 #include "support/SimTime.h"
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace fcl {
 namespace bench {
@@ -33,6 +35,18 @@ inline std::string fmtNorm(double V) { return formatString("%.3f", V); }
 inline void writeCsv(const CsvWriter &Csv, const std::string &Path) {
   if (Csv.writeFile(Path))
     std::printf("(series written to %s)\n", Path.c_str());
+  else
+    std::printf("(warning: could not write %s)\n", Path.c_str());
+}
+
+/// Writes a figure's run reports as a stats sidecar ("<stem>.stats.json")
+/// next to its CSV, so scripts/plot_results.py can draw device-split bars.
+inline void writeStatsSidecar(const std::vector<stats::RunReport> &Reports,
+                              const std::string &Stem) {
+  std::string Path = Stem + ".stats.json";
+  if (stats::writeReportsJson(Reports, Path))
+    std::printf("(stats sidecar written to %s, %zu runs)\n", Path.c_str(),
+                Reports.size());
   else
     std::printf("(warning: could not write %s)\n", Path.c_str());
 }

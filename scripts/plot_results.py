@@ -6,11 +6,17 @@ Usage:
     python3 scripts/plot_results.py results/
 
 Reads every known fig*.csv in the given directory (default: cwd) and
-writes a PNG next to each. Requires matplotlib; exits with a clear message
-when it is unavailable (the repository itself has no Python dependencies).
+writes a PNG next to each. Also reads every *.stats.json run-report
+sidecar (schema fcl-run-report-v1 / -set-v1, written by the bench
+harnesses and fluidicl_sim --stats-json) and draws a device-split
+stacked-bar plot of completed work-groups per device. Requires
+matplotlib; exits with a clear message when it is unavailable (the
+repository itself has no Python dependencies).
 """
 
 import csv
+import glob
+import json
 import os
 import sys
 
@@ -100,6 +106,55 @@ KNOWN = {
 }
 
 
+def load_reports(path):
+    """Yields run-report dicts from a stats-JSON sidecar (bare report or
+    fcl-run-report-set-v1 wrapper)."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") == "fcl-run-report-set-v1":
+        return data.get("runs", [])
+    return [data]
+
+
+def plot_device_split(plt, directory):
+    """Stacked bars of completed work-groups per device, one bar per run,
+    across every *.stats.json sidecar in the directory."""
+    labels, gpu_pct, cpu_pct, aborted_pct = [], [], [], []
+    for path in sorted(glob.glob(os.path.join(directory, "*.stats.json"))):
+        for rep in load_reports(path):
+            total = rep.get("total_workgroups", 0)
+            if not total:
+                continue
+            labels.append(rep.get("workload", "?"))
+            gpu_pct.append(100.0 * rep.get("gpu_workgroups_completed", 0)
+                           / total)
+            cpu_pct.append(100.0 * rep.get("cpu_workgroups_completed", 0)
+                           / total)
+            aborted_pct.append(100.0 * rep.get("gpu_workgroups_aborted", 0)
+                               / total)
+    if not labels:
+        return 0
+    fig, ax = plt.subplots(figsize=(9, 4))
+    xs = range(len(labels))
+    ax.bar(xs, gpu_pct, label="GPU completed", color="#4472c4")
+    ax.bar(xs, cpu_pct, bottom=gpu_pct, label="CPU completed",
+           color="#ed7d31")
+    ax.plot(xs, aborted_pct, "kv", markersize=5,
+            label="GPU aborted (% of total)")
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(labels, rotation=20, ha="right", fontsize=8)
+    ax.set_ylabel("% of work-groups")
+    ax.set_ylim(0, 105)
+    ax.set_title("Achieved device split (from run-report sidecars)")
+    ax.legend(fontsize=8)
+    ax.grid(True, axis="y", alpha=0.3)
+    out = os.path.join(directory, "device_split.png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+    return 1
+
+
 def main():
     try:
         import matplotlib
@@ -119,9 +174,10 @@ def main():
             plot_series(plt, path, spec[1], spec[2], spec[3])
         else:
             plot_grouped_bars(plt, path, spec[1], spec[2])
+    found += plot_device_split(plt, directory)
     if not found:
-        sys.exit(f"no known CSV files found in {directory}; run the bench "
-                 "binaries there first")
+        sys.exit(f"no known CSV or *.stats.json files found in {directory}; "
+                 "run the bench binaries there first")
 
 
 if __name__ == "__main__":

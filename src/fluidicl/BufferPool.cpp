@@ -36,6 +36,7 @@ mcl::Buffer *BufferPool::acquire(uint64_t Size) {
     }
   }
   ++Misses;
+  BytesCreated += Size;
   InUse.push_back(Ctx.createBuffer(Dev, Size, "fcl-pool"));
   return InUse.back().get();
 }

@@ -47,6 +47,8 @@ public:
 
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
+  /// Total bytes of buffers the pool had to create (each miss's size).
+  uint64_t bytesCreated() const { return BytesCreated; }
   size_t freeCount() const { return Free.size(); }
 
 private:
@@ -61,6 +63,7 @@ private:
   uint64_t Epoch = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  uint64_t BytesCreated = 0;
   std::vector<Entry> Free;
   std::vector<std::unique_ptr<mcl::Buffer>> InUse;
 };

@@ -42,8 +42,10 @@ void ChunkController::reportSubkernel(uint64_t Groups, Duration Took) {
       static_cast<double>(Took.nanos()) / static_cast<double>(Groups);
   if (BestAvgNanosPerWg < 0) {
     BestAvgNanosPerWg = Avg;
-    if (Growing)
+    if (Growing) {
       CurrentPct = std::min(100.0, CurrentPct + StepPct);
+      ++GrowthSteps;
+    }
     return;
   }
   if (!Growing)
@@ -51,6 +53,7 @@ void ChunkController::reportSubkernel(uint64_t Groups, Duration Took) {
   if (Avg < BestAvgNanosPerWg) {
     BestAvgNanosPerWg = Avg;
     CurrentPct = std::min(100.0, CurrentPct + StepPct);
+    ++GrowthSteps;
     return;
   }
   // Time per work-group stopped improving: hold the chunk size here.

@@ -41,6 +41,8 @@ public:
 
   double currentPct() const { return CurrentPct; }
   bool stillGrowing() const { return Growing; }
+  /// Times reportSubkernel actually grew the chunk before settling.
+  uint64_t growthSteps() const { return GrowthSteps; }
 
 private:
   uint64_t TotalGroups;
@@ -48,6 +50,7 @@ private:
   double StepPct;
   double CurrentPct;
   bool Growing;
+  uint64_t GrowthSteps = 0;
   double BestAvgNanosPerWg = -1; // <0 until the first report.
 };
 

@@ -139,6 +139,8 @@ void KernelExec::launchGpuKernel() {
     Desc.Abort.Unroll = RT.Opts.LoopUnroll;
     std::shared_ptr<uint64_t> Boundary = GpuVisibleBoundary;
     Desc.AbortBoundary = [Boundary] { return *Boundary; };
+    GpuCounters = std::make_shared<mcl::LaunchCounters>();
+    Desc.Counters = GpuCounters;
   }
   mcl::EventPtr Done = RT.GpuAppQueue->enqueueKernel(std::move(Desc));
   auto Self = shared_from_this();
@@ -149,6 +151,10 @@ void KernelExec::launchGpuKernel() {
 void KernelExec::gpuFinished(uint64_t ExecutedGroups) {
   GpuDone = true;
   Stats.GpuGroupsExecuted = ExecutedGroups;
+  // Everything the GPU did not execute it aborted after observing CPU
+  // completion (only possible in cooperative launches; 0 otherwise).
+  Stats.GpuGroupsAborted = TotalGroups - ExecutedGroups;
+  Stats.GpuGroupsWasted = GpuCounters ? GpuCounters->GroupsWasted : 0;
   FCL_LOG_DEBUG("fcl kernel %llu (%s): gpu executed %llu/%llu groups",
                 static_cast<unsigned long long>(KernelId),
                 Kernel.Name.c_str(),
@@ -159,6 +165,21 @@ void KernelExec::gpuFinished(uint64_t ExecutedGroups) {
 
 void KernelExec::enqueueMerges() {
   MergePhaseStarted = true;
+  // Final-result accounting, fixed at the moment the merge set is chosen:
+  // the GPU-visible boundary says which work-groups' final data the CPU
+  // provided (its data has arrived). When the CPU ran the entire NDRange
+  // it owns every group regardless of what the GPU managed to commit.
+  if (CpuRanAll) {
+    Stats.GpuGroupsCompleted = 0;
+    Stats.CpuGroupsCompleted = TotalGroups;
+  } else {
+    uint64_t Boundary = CooperativeAllowed ? *GpuVisibleBoundary : TotalGroups;
+    Stats.GpuGroupsCompleted = Boundary;
+    Stats.CpuGroupsCompleted = TotalGroups - Boundary;
+    // CPU work completed whose data had not reached the GPU in time:
+    // executed, then thrown away.
+    Stats.CpuGroupsWasted += Boundary - CpuLow;
+  }
   bool AnyCpuData = *GpuVisibleBoundary < TotalGroups;
   if (!AnyCpuData || Outs.empty() || !CooperativeAllowed) {
     mergesDone();
@@ -170,6 +191,18 @@ void KernelExec::enqueueMerges() {
   const kern::KernelInfo &Merge =
       kern::Registry::builtin().get("md_merge_kernel");
   MergesPending = static_cast<int>(Outs.size());
+  // Byte model: each merge kernel scans the whole buffer against the
+  // original-data snapshot; the CPU-won share of it is what the diff
+  // actually replaces with CPU data (an estimate - exact counts would need
+  // functional execution).
+  double CpuShare = TotalGroups ? static_cast<double>(Stats.CpuGroupsCompleted)
+                                      / static_cast<double>(TotalGroups)
+                                : 0.0;
+  for (const OutBinding &O : Outs) {
+    Stats.MergeBytesDiffed += O.B->Size;
+    Stats.MergeBytesCopied +=
+        static_cast<uint64_t>(CpuShare * static_cast<double>(O.B->Size));
+  }
   auto Self = shared_from_this();
   for (OutBinding &O : Outs) {
     uint64_t Items =
@@ -268,14 +301,27 @@ void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
   ++Stats.CpuSubkernels;
   Stats.CpuGroupsExecuted += Groups;
   Chunks.reportSubkernel(Groups, Took);
+  stats::ChunkPoint Point;
+  Point.At = RT.Ctx.now();
+  Point.Groups = Groups;
+  Point.PctAfter = Chunks.currentPct();
+  Point.Took = Took;
+  Stats.ChunkTrajectory.push_back(Point);
+  if (trace::Tracer *T = RT.Ctx.tracer())
+    T->counter("CPU chunk work-groups", RT.Ctx.now(),
+               static_cast<double>(Groups));
   if (RT.Opts.OnlineProfiling)
     RT.Profiler.reportSubkernel(Kernel, *Used, Groups, Took);
   CpuLow = Begin;
 
   // The CPU scheduler exits once the GPU kernel has exited (paper section
-  // 4.2): the remaining and in-flight CPU results are not needed.
-  if (GpuDone || MergePhaseStarted)
+  // 4.2): the remaining and in-flight CPU results are not needed. A
+  // subkernel landing after the merge set was fixed is pure waste.
+  if (GpuDone || MergePhaseStarted) {
+    if (MergePhaseStarted && !CpuRanAll)
+      Stats.CpuGroupsWasted += Groups;
     return;
+  }
 
   if (CpuLow == 0) {
     // The CPU computed the entire NDRange first: the final data is deemed
@@ -334,6 +380,7 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
   // (section 4.2 - this is what folds transfer time into "complete").
   mcl::EventPtr StatusDone =
       RT.HdQueue->enqueueWrite(*RT.StatusBuf, nullptr, 8);
+  Stats.StatusBytesSent += 8;
   std::shared_ptr<uint64_t> BoundaryWord = GpuVisibleBoundary;
   auto Self = shared_from_this();
   StatusDone->onComplete([Self, BoundaryWord, Boundary, StatusDone] {
@@ -378,6 +425,7 @@ void KernelExec::startDhStage() {
       Staging = std::make_shared<std::vector<std::byte>>(O.B->Size);
     mcl::EventPtr ReadDone = RT.DhQueue->enqueueRead(
         *O.B->GpuBuf, Staging ? Staging->data() : nullptr, O.B->Size);
+    Stats.DhBytesReceived += O.B->Size;
     auto Applied = std::make_shared<mcl::Event>(RT.Ctx);
     O.B->CpuLanding = Applied;
     RT.trackDh(Applied);
@@ -424,5 +472,6 @@ void KernelExec::appComplete() {
   AppComplete = true;
   Stats.KernelTime = RT.Ctx.now() - StartedAt;
   Stats.FinalChunkPct = Chunks.currentPct();
+  Stats.ChunkGrowthSteps = Chunks.growthSteps();
   Stats.CpuRanEverything = CpuRanAll;
 }

@@ -104,6 +104,9 @@ private:
 
   ChunkController Chunks;
   mcl::EventPtr LastHdEvent;
+  /// Shared with the GPU engine via LaunchDesc::Counters; reports
+  /// mid-wave aborted (wasted) work-groups.
+  std::shared_ptr<mcl::LaunchCounters> GpuCounters;
   KernelStats Stats;
 };
 

@@ -70,6 +70,8 @@ void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
     // write or DH transfer) - never for unrelated trailing subkernels.
     if (B.CpuLanding && !B.CpuLanding->isComplete())
       B.CpuLanding->wait();
+    Stats.add("reads_from_cpu");
+    Stats.add("reads_from_cpu_bytes", Bytes);
     Ctx.hostAdvance(Ctx.machine().Host.memcpyTime(Bytes));
     if (Dst && B.CpuBuf->backed())
       std::memcpy(Dst, B.CpuBuf->data(), Bytes);
@@ -77,6 +79,8 @@ void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
   }
   // Otherwise read from the GPU, which always holds the most recent
   // version once the app-queue merges drain (in-order queue).
+  Stats.add("reads_from_gpu");
+  Stats.add("reads_from_gpu_bytes", Bytes);
   GpuAppQueue->enqueueRead(*B.GpuBuf, Dst, Bytes, 0, /*Blocking=*/true);
 }
 
@@ -119,6 +123,29 @@ std::vector<KernelStats> Runtime::kernelStats() const {
   for (const auto &E : Execs)
     Out.push_back(E->stats());
   return Out;
+}
+
+void Runtime::collectStats(stats::RunReport &Report) const {
+  // Subsystem counters are snapshotted here rather than accumulated inline
+  // so ablations (pooling off, tracking off) naturally export zeros.
+  Stats.add("bufferpool_hits", Pool.hits() - Stats.counter("bufferpool_hits"));
+  Stats.add("bufferpool_misses",
+            Pool.misses() - Stats.counter("bufferpool_misses"));
+  Stats.add("bufferpool_bytes_created",
+            Pool.bytesCreated() - Stats.counter("bufferpool_bytes_created"));
+  uint64_t Lookups = Pool.hits() + Pool.misses();
+  Stats.set("bufferpool_hit_rate",
+            Lookups ? static_cast<double>(Pool.hits()) /
+                          static_cast<double>(Lookups)
+                    : 0.0);
+  Stats.add("version_receives_applied",
+            Versions.receivesApplied() -
+                Stats.counter("version_receives_applied"));
+  Stats.add("version_stale_drops",
+            Versions.staleDrops() - Stats.counter("version_stale_drops"));
+  HeteroRuntime::collectStats(Report);
+  for (const auto &E : Execs)
+    Report.Launches.push_back(E->stats());
 }
 
 void Runtime::whenCpuVersions(

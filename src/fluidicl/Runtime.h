@@ -35,6 +35,7 @@
 #include "fluidicl/VersionTracker.h"
 #include "mcl/CommandQueue.h"
 #include "runtime/HeteroRuntime.h"
+#include "stats/LaunchStats.h"
 
 #include <memory>
 #include <string>
@@ -46,27 +47,9 @@ namespace fluidicl {
 class KernelExec;
 
 /// Summary of one cooperative kernel execution (for experiments/tests).
-struct KernelStats {
-  std::string KernelName;
-  std::string CpuKernelUsed;
-  uint64_t KernelId = 0;
-  uint64_t TotalGroups = 0;
-  /// Work-groups the CPU scheduler completed (may overlap the GPU's near
-  /// the meeting point).
-  uint64_t CpuGroupsExecuted = 0;
-  /// Work-groups the GPU actually executed (aborted ones excluded).
-  uint64_t GpuGroupsExecuted = 0;
-  uint64_t CpuSubkernels = 0;
-  double FinalChunkPct = 0;
-  bool CpuRanEverything = false;
-  /// Kernel used atomics, so the CPU side was skipped (paper section 7).
-  bool AtomicsFallback = false;
-  /// Bytes of CPU-computed data streamed to the GPU on the hd queue
-  /// (excluding status words); the RegionTransfers extension shrinks this.
-  uint64_t HdBytesSent = 0;
-  /// Application-observed duration of the blocking kernel call.
-  Duration KernelTime;
-};
+/// Lives in the stats subsystem now; the alias keeps the historical
+/// fluidicl::KernelStats spelling working.
+using KernelStats = stats::LaunchStats;
 
 /// The FluidiCL runtime.
 class Runtime final : public runtime::HeteroRuntime {
@@ -89,6 +72,10 @@ public:
   /// Per-kernel execution summaries, in launch order. Call finish() first
   /// for final numbers.
   std::vector<KernelStats> kernelStats() const;
+
+  /// Adds the launch records, buffer-pool / version-tracker / read-routing
+  /// counters, and derived gauges on top of the base registry.
+  void collectStats(stats::RunReport &Report) const override;
 
 private:
   friend class KernelExec;

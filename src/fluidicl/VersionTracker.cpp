@@ -31,8 +31,12 @@ void VersionTracker::noteKernelWillWrite(uint32_t Buf, uint64_t KernelId) {
 void VersionTracker::noteCpuReceived(uint32_t Buf, uint64_t KernelId) {
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   // Discard stale arrivals (section 5.3: late messages are ignored).
-  if (KernelId > States[Buf].CpuReceived)
+  if (KernelId > States[Buf].CpuReceived) {
     States[Buf].CpuReceived = KernelId;
+    ++ReceivesApplied;
+  } else {
+    ++StaleDrops;
+  }
 }
 
 bool VersionTracker::cpuCurrent(uint32_t Buf) const {

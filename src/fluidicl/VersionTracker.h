@@ -55,6 +55,11 @@ public:
   uint64_t expectedVersion(uint32_t Buf) const;
   uint64_t cpuVersion(uint32_t Buf) const;
 
+  /// noteCpuReceived calls that advanced a CPU version.
+  uint64_t receivesApplied() const { return ReceivesApplied; }
+  /// noteCpuReceived calls discarded as stale (late messages, section 5.3).
+  uint64_t staleDrops() const { return StaleDrops; }
+
 private:
   struct State {
     uint64_t Expected = 0;
@@ -62,6 +67,8 @@ private:
   };
 
   std::vector<State> States;
+  uint64_t ReceivesApplied = 0;
+  uint64_t StaleDrops = 0;
 };
 
 } // namespace fluidicl

@@ -131,6 +131,7 @@ void CommandQueue::startCommand(Command &&Cmd) {
   case CommandKind::Write: {
     TimePoint End =
         Dev.scheduleTransfer(TransferDir::HostToDevice, Cmd.Bytes);
+    Ctx.noteTransferStart();
     // Move the command into the completion event so the captured payload
     // stays alive until the simulated DMA lands.
     auto CmdPtr = std::make_shared<Command>(std::move(Cmd));
@@ -144,6 +145,7 @@ void CommandQueue::startCommand(Command &&Cmd) {
         std::memcpy(CmdPtr->Dst->data() + CmdPtr->Offset,
                     CmdPtr->HostSrcCopy.data(), CmdPtr->Bytes);
       }
+      Ctx.noteTransferEnd();
       traceCommand(*CmdPtr);
       CmdPtr->Done->fire();
       pump();
@@ -153,6 +155,7 @@ void CommandQueue::startCommand(Command &&Cmd) {
   case CommandKind::Read: {
     TimePoint End =
         Dev.scheduleTransfer(TransferDir::DeviceToHost, Cmd.Bytes);
+    Ctx.noteTransferStart();
     auto CmdPtr = std::make_shared<Command>(std::move(Cmd));
     Sim.scheduleAt(End, [this, CmdPtr] {
       FCL_LOG_DEBUG("queue %s: read %s lands at t=%lld",
@@ -164,6 +167,7 @@ void CommandQueue::startCommand(Command &&Cmd) {
         std::memcpy(CmdPtr->HostDst, CmdPtr->Src->data() + CmdPtr->Offset,
                     CmdPtr->Bytes);
       }
+      Ctx.noteTransferEnd();
       traceCommand(*CmdPtr);
       CmdPtr->Done->fire();
       pump();

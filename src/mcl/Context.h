@@ -73,13 +73,33 @@ public:
   void setTracer(trace::Tracer *T) { ActiveTracer = T; }
   trace::Tracer *tracer() const { return ActiveTracer; }
 
+  /// Write/Read commands in flight right now, across all queues. Command
+  /// queues keep this current; the attached tracer gets an "Outstanding
+  /// transfers" counter sample on every change.
+  int outstandingTransfers() const { return OutstandingTransfers; }
+  void noteTransferStart() {
+    ++OutstandingTransfers;
+    sampleOutstandingTransfers();
+  }
+  void noteTransferEnd() {
+    --OutstandingTransfers;
+    sampleOutstandingTransfers();
+  }
+
 private:
+  void sampleOutstandingTransfers() {
+    if (ActiveTracer)
+      ActiveTracer->counter("Outstanding transfers", now(),
+                            static_cast<double>(OutstandingTransfers));
+  }
+
   hw::Machine M;
   ExecMode Mode;
   sim::Simulator Sim;
   std::unique_ptr<Device> Cpu;
   std::unique_ptr<Device> Gpu;
   trace::Tracer *ActiveTracer = nullptr;
+  int OutstandingTransfers = 0;
 };
 
 } // namespace mcl

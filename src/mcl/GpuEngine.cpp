@@ -105,6 +105,13 @@ struct GpuEngine::Run : std::enable_shared_from_this<GpuEngine::Run> {
     return std::max(Limit, Desc.clampedBegin());
   }
 
+  /// Occupancy counter track: live work-groups on the device right now.
+  void sampleLive(uint64_t Value) const {
+    if (trace::Tracer *T = Eng->Ctx.tracer())
+      T->counter(Eng->name() + " live work-groups", Eng->Ctx.now(),
+                 static_cast<double>(Value));
+  }
+
   void start() {
     auto Self = shared_from_this();
     Eng->Ctx.simulator().scheduleAfter(
@@ -125,6 +132,7 @@ struct GpuEngine::Run : std::enable_shared_from_this<GpuEngine::Run> {
     Live = WaveEnd - WaveBegin;
     NumCheckpoints = hw::gpuWaveCheckpoints(Cost, Desc.Abort);
     Checkpoint = 0;
+    sampleLive(Live);
     scheduleSegment();
   }
 
@@ -155,8 +163,12 @@ struct GpuEngine::Run : std::enable_shared_from_this<GpuEngine::Run> {
           Limit >= WaveEnd
               ? WaveEnd - WaveBegin
               : (Limit > WaveBegin ? Limit - WaveBegin : 0);
-      if (NewLive < Live)
+      if (NewLive < Live) {
+        if (Desc.Counters)
+          Desc.Counters->GroupsWasted += Live - NewLive;
         Live = NewLive;
+        sampleLive(Live);
+      }
     }
     if (Checkpoint >= NumCheckpoints || Live == 0) {
       commitWave();
@@ -193,6 +205,7 @@ struct GpuEngine::Run : std::enable_shared_from_this<GpuEngine::Run> {
   }
 
   void finish() {
+    sampleLive(0);
     auto Done = std::move(Complete);
     Done(Executed);
   }

@@ -22,12 +22,23 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace fcl {
 namespace mcl {
 
 class Buffer;
+
+/// Live accounting the executing engine updates while a launch runs. A
+/// runtime that wants visibility into mid-flight behaviour (wasted aborted
+/// work) shares one of these via LaunchDesc::Counters; the engine never
+/// reads it, only adds.
+struct LaunchCounters {
+  /// Work-groups an in-loop abort check killed after they had already
+  /// started executing in a wave: cycles burned, results discarded.
+  uint64_t GroupsWasted = 0;
+};
 
 /// One bound kernel argument at the API boundary: a Buffer or a scalar.
 struct LaunchArg {
@@ -80,6 +91,9 @@ struct LaunchDesc {
   /// work-groups than compute units, split each work-group across all
   /// units (barriers become phase joins, local memory becomes global).
   bool SplitWorkGroups = false;
+
+  /// Optional shared accounting the engine updates as the launch runs.
+  std::shared_ptr<LaunchCounters> Counters;
 
   /// Queried at the launch's completion: when it returns true the launch's
   /// functional writes are suppressed (timing is unaffected). FluidiCL uses

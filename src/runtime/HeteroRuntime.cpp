@@ -10,3 +10,8 @@ using namespace fcl;
 using namespace fcl::runtime;
 
 HeteroRuntime::~HeteroRuntime() = default;
+
+void HeteroRuntime::collectStats(stats::RunReport &Report) const {
+  Report.RuntimeName = name();
+  Report.Counters.mergeFrom(Stats);
+}

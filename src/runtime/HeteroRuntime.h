@@ -27,6 +27,8 @@
 
 #include "kern/NDRange.h"
 #include "mcl/Context.h"
+#include "stats/Registry.h"
+#include "stats/Report.h"
 
 #include <cstdint>
 #include <string>
@@ -98,10 +100,23 @@ public:
   /// Current simulated time (total-running-time measurements).
   TimePoint now() const { return Ctx.now(); }
 
+  /// Runtime counters and gauges accumulated so far (bytes moved, task
+  /// placement, cache hits, ...). Every implementation adds to this as it
+  /// runs; counter names are catalogued in docs/OBSERVABILITY.md.
+  const stats::Registry &statsRegistry() const { return Stats; }
+
+  /// Adds everything this runtime knows into \p Report: the counter
+  /// registry plus, for implementations that track per-launch records
+  /// (FluidiCL), one LaunchStats per kernel launch.
+  virtual void collectStats(stats::RunReport &Report) const;
+
 protected:
   explicit HeteroRuntime(mcl::Context &Ctx) : Ctx(Ctx) {}
 
   mcl::Context &Ctx;
+  /// Mutable so const query paths (readBuffer routing decisions live in
+  /// non-const methods, but name()/collectStats stay const) can account.
+  mutable stats::Registry Stats;
 };
 
 } // namespace runtime

@@ -44,6 +44,7 @@ BufferId SingleDeviceRuntime::createBuffer(uint64_t Size,
 void SingleDeviceRuntime::writeBuffer(BufferId Id, const void *Src,
                                       uint64_t Bytes) {
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  Stats.add("app_bytes_written", Bytes);
   ManagedBuffer &B = buf(Id);
   B.writeFromHost(Src, Bytes);
   B.ensureOn(Dev, *Queue);
@@ -51,6 +52,7 @@ void SingleDeviceRuntime::writeBuffer(BufferId Id, const void *Src,
 
 void SingleDeviceRuntime::readBuffer(BufferId Id, void *Dst, uint64_t Bytes) {
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  Stats.add("app_bytes_read", Bytes);
   ManagedBuffer &B = buf(Id);
   FCL_CHECK(Bytes <= B.size(), "read overruns buffer");
   B.ensureHost(*Queue);
@@ -84,6 +86,11 @@ void SingleDeviceRuntime::launchKernel(const std::string &KernelName,
                                        const kern::NDRange &Range,
                                        const std::vector<KArg> &Args) {
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  Stats.add("kernel_launches");
+  Stats.add("workgroups_total", Range.totalGroups());
+  Stats.add(Dev.kind() == mcl::DeviceKind::Cpu ? "cpu_workgroups_completed"
+                                               : "gpu_workgroups_completed",
+            Range.totalGroups());
   const kern::KernelInfo &Kernel = kern::Registry::builtin().get(KernelName);
   // Uploads for stale inputs, as a straightforward host program would issue.
   for (size_t I = 0; I < Args.size(); ++I)

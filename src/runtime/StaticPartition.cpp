@@ -112,6 +112,11 @@ void StaticPartitionRuntime::launchKernel(const std::string &KernelName,
   bool UsesGpu = GpuGroups > 0;
   bool UsesCpu = GpuGroups < Total;
 
+  Stats.add("kernel_launches");
+  Stats.add("workgroups_total", Total);
+  Stats.add("gpu_workgroups_completed", GpuGroups);
+  Stats.add("cpu_workgroups_completed", Total - GpuGroups);
+
   // Manual data management: the programmer makes the host copy current,
   // snapshots the pre-image of written buffers, and uploads inputs to the
   // devices that participate.
@@ -193,6 +198,7 @@ void StaticPartitionRuntime::launchKernel(const std::string &KernelName,
       }
     }
     // Charge the host merge pass (two reads + one write over the buffer).
+    Stats.add("host_merge_bytes", B.size());
     Ctx.hostAdvance(Ctx.machine().Host.memcpyTime(3 * B.size()));
     B.markHostCurrent();
     B.invalidateDevices();

@@ -116,6 +116,12 @@ void SoclRuntime::launchKernel(const std::string &KernelName,
   mcl::Device &Dev = chooseDevice(KernelName, Range, Args);
   ++TaskCounter;
   Placements.push_back(Dev.kind());
+  bool OnGpu = Dev.kind() == mcl::DeviceKind::Gpu;
+  Stats.add("kernel_launches");
+  Stats.add("workgroups_total", Range.totalGroups());
+  Stats.add(OnGpu ? "tasks_gpu" : "tasks_cpu");
+  Stats.add(OnGpu ? "gpu_workgroups_completed" : "cpu_workgroups_completed",
+            Range.totalGroups());
   mcl::CommandQueue &Queue = queueFor(Dev);
 
   // Automatic data management: fetch stale inputs to the chosen device.

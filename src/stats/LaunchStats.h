@@ -1,0 +1,109 @@
+//===- stats/LaunchStats.h - Per-kernel-launch metrics ----------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-launch record of a cooperative kernel execution: how the
+/// NDRange's work-groups were divided between the devices, how much work
+/// the abort mechanism saved or wasted, how the CPU chunk size evolved, and
+/// how many bytes crossed the simulated PCIe link on each stream. This is
+/// the quantity the paper's result discussion (Figs. 13-18) reasons in;
+/// fluidicl::Runtime fills one per launchKernel call and the run report
+/// aggregates them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_STATS_LAUNCHSTATS_H
+#define FCL_STATS_LAUNCHSTATS_H
+
+#include "support/SimTime.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace stats {
+
+/// One point of the CPU chunk-size trajectory: a completed CPU subkernel.
+struct ChunkPoint {
+  /// Simulated time the subkernel completed.
+  TimePoint At;
+  /// Work-groups the subkernel executed.
+  uint64_t Groups = 0;
+  /// Chunk percentage the controller will use next (after feedback).
+  double PctAfter = 0;
+  /// Measured subkernel duration.
+  Duration Took;
+};
+
+/// Summary of one cooperative kernel execution.
+struct LaunchStats {
+  std::string KernelName;
+  std::string CpuKernelUsed;
+  uint64_t KernelId = 0;
+  uint64_t TotalGroups = 0;
+
+  // --- Raw executed work (may overlap near the meeting point) -------------
+  /// Work-groups the CPU scheduler completed (may overlap the GPU's near
+  /// the meeting point).
+  uint64_t CpuGroupsExecuted = 0;
+  /// Work-groups the GPU actually executed (aborted ones excluded).
+  uint64_t GpuGroupsExecuted = 0;
+
+  // --- Final-result accounting (disjoint; sums to TotalGroups) ------------
+  /// Work-groups whose final data the application got from the GPU.
+  uint64_t GpuGroupsCompleted = 0;
+  /// Work-groups whose final data came from the CPU (merge or CPU-ran-all).
+  uint64_t CpuGroupsCompleted = 0;
+
+  // --- Abort accounting ----------------------------------------------------
+  /// GPU work-groups that aborted after observing CPU completion (never
+  /// committed; includes work-groups that aborted at their first status
+  /// check). TotalGroups == GpuGroupsExecuted + GpuGroupsAborted for
+  /// cooperative launches.
+  uint64_t GpuGroupsAborted = 0;
+  /// Subset of GpuGroupsAborted that had already started executing when the
+  /// status word covered them (cycles burned, then discarded).
+  uint64_t GpuGroupsWasted = 0;
+  /// CPU work-groups executed whose results the GPU never consumed (the
+  /// subkernel finished after the GPU kernel exited, or its data was still
+  /// in flight at merge time).
+  uint64_t CpuGroupsWasted = 0;
+
+  uint64_t CpuSubkernels = 0;
+  double FinalChunkPct = 0;
+  /// Times the chunk controller grew the chunk before settling.
+  uint64_t ChunkGrowthSteps = 0;
+  bool CpuRanEverything = false;
+  /// Kernel used atomics, so the CPU side was skipped (paper section 7).
+  bool AtomicsFallback = false;
+
+  // --- Byte accounting -----------------------------------------------------
+  /// Bytes of CPU-computed data streamed to the GPU on the hd queue
+  /// (excluding status words); the RegionTransfers extension shrinks this.
+  uint64_t HdBytesSent = 0;
+  /// Status words streamed behind the data on the hd queue.
+  uint64_t StatusBytesSent = 0;
+  /// Bytes the asynchronous device-to-host stage brought back.
+  uint64_t DhBytesReceived = 0;
+  /// Bytes the GPU-side merge kernels scanned (diffed against the
+  /// original-data snapshot).
+  uint64_t MergeBytesDiffed = 0;
+  /// Estimated bytes the merges actually replaced with CPU data (the
+  /// CPU-won share of each scanned buffer).
+  uint64_t MergeBytesCopied = 0;
+
+  /// Application-observed duration of the blocking kernel call.
+  Duration KernelTime;
+
+  /// Chunk-size trajectory, one point per completed CPU subkernel.
+  std::vector<ChunkPoint> ChunkTrajectory;
+};
+
+} // namespace stats
+} // namespace fcl
+
+#endif // FCL_STATS_LAUNCHSTATS_H

@@ -1,0 +1,40 @@
+//===- stats/Registry.cpp - Counter and gauge registry --------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Registry.h"
+
+using namespace fcl;
+using namespace fcl::stats;
+
+void Registry::add(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void Registry::set(const std::string &Name, double Value) {
+  Gauges[Name] = Value;
+}
+
+uint64_t Registry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double Registry::gauge(const std::string &Name) const {
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0.0 : It->second;
+}
+
+void Registry::mergeFrom(const Registry &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Gauges)
+    Gauges[Name] = Value;
+}
+
+void Registry::clear() {
+  Counters.clear();
+  Gauges.clear();
+}

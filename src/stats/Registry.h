@@ -1,0 +1,60 @@
+//===- stats/Registry.h - Counter and gauge registry ------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-indexed counters (monotonic uint64) and gauges (last-value double)
+/// for runtime introspection. Every runtime owns one Registry; the run
+/// report serializes it. Names are free-form snake_case strings; reading a
+/// name that was never written returns 0, so ablation tests can assert that
+/// a disabled feature left its counters untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_STATS_REGISTRY_H
+#define FCL_STATS_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fcl {
+namespace stats {
+
+/// Holds named counters and gauges. Iteration order is lexicographic, so
+/// every export is deterministic.
+class Registry {
+public:
+  /// Adds \p Delta to counter \p Name (creating it at 0).
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Sets gauge \p Name to \p Value (creating it).
+  void set(const std::string &Name, double Value);
+
+  /// Counter value; 0 when the counter was never bumped.
+  uint64_t counter(const std::string &Name) const;
+
+  /// Gauge value; 0.0 when the gauge was never set.
+  double gauge(const std::string &Name) const;
+
+  /// Adds every counter of \p Other into this registry and overwrites
+  /// gauges with \p Other's values.
+  void mergeFrom(const Registry &Other);
+
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &gauges() const { return Gauges; }
+
+  bool empty() const { return Counters.empty() && Gauges.empty(); }
+  void clear();
+
+private:
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+};
+
+} // namespace stats
+} // namespace fcl
+
+#endif // FCL_STATS_REGISTRY_H

@@ -1,0 +1,295 @@
+//===- stats/Report.cpp - Structured run reports --------------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stats/Report.h"
+
+#include "support/Format.h"
+#include "trace/Tracer.h"
+
+#include <cstdio>
+
+using namespace fcl;
+using namespace fcl::stats;
+
+namespace {
+
+uint64_t sumOver(const std::vector<LaunchStats> &Launches,
+                 uint64_t LaunchStats::*Field) {
+  uint64_t Sum = 0;
+  for (const LaunchStats &L : Launches)
+    Sum += L.*Field;
+  return Sum;
+}
+
+std::string u64(uint64_t V) {
+  return formatString("%llu", static_cast<unsigned long long>(V));
+}
+
+} // namespace
+
+uint64_t RunReport::totalWorkGroups() const {
+  return sumOver(Launches, &LaunchStats::TotalGroups);
+}
+uint64_t RunReport::gpuWorkGroupsCompleted() const {
+  return sumOver(Launches, &LaunchStats::GpuGroupsCompleted);
+}
+uint64_t RunReport::cpuWorkGroupsCompleted() const {
+  return sumOver(Launches, &LaunchStats::CpuGroupsCompleted);
+}
+uint64_t RunReport::gpuWorkGroupsExecuted() const {
+  return sumOver(Launches, &LaunchStats::GpuGroupsExecuted);
+}
+uint64_t RunReport::cpuWorkGroupsExecuted() const {
+  return sumOver(Launches, &LaunchStats::CpuGroupsExecuted);
+}
+uint64_t RunReport::gpuWorkGroupsAborted() const {
+  return sumOver(Launches, &LaunchStats::GpuGroupsAborted);
+}
+uint64_t RunReport::gpuWorkGroupsWasted() const {
+  return sumOver(Launches, &LaunchStats::GpuGroupsWasted);
+}
+uint64_t RunReport::cpuWorkGroupsWasted() const {
+  return sumOver(Launches, &LaunchStats::CpuGroupsWasted);
+}
+
+void RunReport::addUtilizationFromTracer(const trace::Tracer &T,
+                                         Duration WallTime) {
+  Utilization.clear();
+  // Lanes in first-appearance order, matching the trace's tid assignment.
+  std::vector<std::string> Lanes;
+  for (const trace::TraceEvent &E : T.events()) {
+    bool Seen = false;
+    for (const std::string &L : Lanes)
+      if (L == E.Lane)
+        Seen = true;
+    if (!Seen)
+      Lanes.push_back(E.Lane);
+  }
+  for (const std::string &Lane : Lanes) {
+    LaneUtilization U;
+    U.Lane = Lane;
+    U.Busy = T.laneBusy(Lane);
+    U.Utilization = WallTime.nanos() > 0
+                        ? static_cast<double>(U.Busy.nanos()) /
+                              static_cast<double>(WallTime.nanos())
+                        : 0.0;
+    Utilization.push_back(std::move(U));
+  }
+}
+
+std::string RunReport::renderJson() const {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"fcl-run-report-v1\",\n";
+  Out += formatString("  \"runtime\": \"%s\",\n",
+                      jsonEscape(RuntimeName).c_str());
+  Out += formatString("  \"workload\": \"%s\",\n",
+                      jsonEscape(WorkloadName).c_str());
+  Out += formatString("  \"wall_seconds\": %.9f,\n", Wall.toSeconds());
+  Out += "  \"total_workgroups\": " + u64(totalWorkGroups()) + ",\n";
+  Out += "  \"gpu_workgroups_completed\": " + u64(gpuWorkGroupsCompleted()) +
+         ",\n";
+  Out += "  \"cpu_workgroups_completed\": " + u64(cpuWorkGroupsCompleted()) +
+         ",\n";
+  Out += "  \"gpu_workgroups_executed\": " + u64(gpuWorkGroupsExecuted()) +
+         ",\n";
+  Out += "  \"cpu_workgroups_executed\": " + u64(cpuWorkGroupsExecuted()) +
+         ",\n";
+  Out += "  \"gpu_workgroups_aborted\": " + u64(gpuWorkGroupsAborted()) +
+         ",\n";
+  Out += "  \"gpu_workgroups_wasted\": " + u64(gpuWorkGroupsWasted()) + ",\n";
+  Out += "  \"cpu_workgroups_wasted\": " + u64(cpuWorkGroupsWasted()) + ",\n";
+
+  Out += "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters.counters()) {
+    Out += formatString("%s\n    \"%s\": %s", First ? "" : ",",
+                        jsonEscape(Name).c_str(), u64(Value).c_str());
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Counters.gauges()) {
+    Out += formatString("%s\n    \"%s\": %.9g", First ? "" : ",",
+                        jsonEscape(Name).c_str(), Value);
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+
+  Out += "  \"device_utilization\": [";
+  First = true;
+  for (const LaneUtilization &U : Utilization) {
+    Out += formatString("%s\n    {\"lane\": \"%s\", \"busy_seconds\": %.9f, "
+                        "\"utilization\": %.6f}",
+                        First ? "" : ",", jsonEscape(U.Lane).c_str(),
+                        U.Busy.toSeconds(), U.Utilization);
+    First = false;
+  }
+  Out += First ? "],\n" : "\n  ],\n";
+
+  Out += "  \"launches\": [";
+  First = true;
+  for (const LaunchStats &L : Launches) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\n";
+    Out += formatString("      \"kernel\": \"%s\",\n",
+                        jsonEscape(L.KernelName).c_str());
+    Out += formatString("      \"cpu_kernel_used\": \"%s\",\n",
+                        jsonEscape(L.CpuKernelUsed).c_str());
+    Out += "      \"kernel_id\": " + u64(L.KernelId) + ",\n";
+    Out += "      \"total_workgroups\": " + u64(L.TotalGroups) + ",\n";
+    Out += "      \"gpu_workgroups_completed\": " + u64(L.GpuGroupsCompleted) +
+           ",\n";
+    Out += "      \"cpu_workgroups_completed\": " + u64(L.CpuGroupsCompleted) +
+           ",\n";
+    Out += "      \"gpu_workgroups_executed\": " + u64(L.GpuGroupsExecuted) +
+           ",\n";
+    Out += "      \"cpu_workgroups_executed\": " + u64(L.CpuGroupsExecuted) +
+           ",\n";
+    Out += "      \"gpu_workgroups_aborted\": " + u64(L.GpuGroupsAborted) +
+           ",\n";
+    Out += "      \"gpu_workgroups_wasted\": " + u64(L.GpuGroupsWasted) +
+           ",\n";
+    Out += "      \"cpu_workgroups_wasted\": " + u64(L.CpuGroupsWasted) +
+           ",\n";
+    Out += "      \"cpu_subkernels\": " + u64(L.CpuSubkernels) + ",\n";
+    Out += formatString("      \"final_chunk_pct\": %.6f,\n",
+                        L.FinalChunkPct);
+    Out += "      \"chunk_growth_steps\": " + u64(L.ChunkGrowthSteps) + ",\n";
+    Out += formatString("      \"cpu_ran_everything\": %s,\n",
+                        L.CpuRanEverything ? "true" : "false");
+    Out += formatString("      \"atomics_fallback\": %s,\n",
+                        L.AtomicsFallback ? "true" : "false");
+    Out += "      \"hd_bytes_sent\": " + u64(L.HdBytesSent) + ",\n";
+    Out += "      \"status_bytes_sent\": " + u64(L.StatusBytesSent) + ",\n";
+    Out += "      \"dh_bytes_received\": " + u64(L.DhBytesReceived) + ",\n";
+    Out += "      \"merge_bytes_diffed\": " + u64(L.MergeBytesDiffed) + ",\n";
+    Out += "      \"merge_bytes_copied\": " + u64(L.MergeBytesCopied) + ",\n";
+    Out += formatString("      \"kernel_seconds\": %.9f,\n",
+                        L.KernelTime.toSeconds());
+    Out += "      \"chunk_trajectory\": [";
+    bool FirstPoint = true;
+    for (const ChunkPoint &P : L.ChunkTrajectory) {
+      Out += formatString(
+          "%s\n        {\"t_us\": %.3f, \"workgroups\": %s, "
+          "\"pct_after\": %.4f, \"subkernel_us\": %.3f}",
+          FirstPoint ? "" : ",",
+          static_cast<double>(P.At.nanos()) / 1000.0, u64(P.Groups).c_str(),
+          P.PctAfter, static_cast<double>(P.Took.nanos()) / 1000.0);
+      FirstPoint = false;
+    }
+    Out += FirstPoint ? "]\n" : "\n      ]\n";
+    Out += "    }";
+  }
+  Out += First ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::vector<std::string> RunReport::csvHeader() {
+  return {"runtime",
+          "workload",
+          "kernel",
+          "kernel_id",
+          "total_workgroups",
+          "gpu_workgroups_completed",
+          "cpu_workgroups_completed",
+          "gpu_workgroups_executed",
+          "cpu_workgroups_executed",
+          "gpu_workgroups_aborted",
+          "gpu_workgroups_wasted",
+          "cpu_workgroups_wasted",
+          "cpu_subkernels",
+          "final_chunk_pct",
+          "hd_bytes_sent",
+          "status_bytes_sent",
+          "dh_bytes_received",
+          "merge_bytes_diffed",
+          "merge_bytes_copied",
+          "kernel_seconds"};
+}
+
+void RunReport::appendCsvRows(CsvWriter &Csv) const {
+  for (const LaunchStats &L : Launches)
+    Csv.addRow({RuntimeName, WorkloadName, L.KernelName, u64(L.KernelId),
+                u64(L.TotalGroups), u64(L.GpuGroupsCompleted),
+                u64(L.CpuGroupsCompleted), u64(L.GpuGroupsExecuted),
+                u64(L.CpuGroupsExecuted), u64(L.GpuGroupsAborted),
+                u64(L.GpuGroupsWasted), u64(L.CpuGroupsWasted),
+                u64(L.CpuSubkernels), formatString("%.4f", L.FinalChunkPct),
+                u64(L.HdBytesSent), u64(L.StatusBytesSent),
+                u64(L.DhBytesReceived), u64(L.MergeBytesDiffed),
+                u64(L.MergeBytesCopied),
+                formatString("%.9f", L.KernelTime.toSeconds())});
+}
+
+bool RunReport::writeJson(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Text = renderJson();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}
+
+void RunReport::printSummary() const {
+  std::printf("  stats: %s on %s, wall %.6f s\n", RuntimeName.c_str(),
+              WorkloadName.c_str(), Wall.toSeconds());
+  if (!Launches.empty()) {
+    uint64_t Total = totalWorkGroups();
+    auto Pct = [Total](uint64_t V) {
+      return Total ? 100.0 * static_cast<double>(V) /
+                         static_cast<double>(Total)
+                   : 0.0;
+    };
+    std::printf("    work-groups: %llu total; completed gpu %llu (%.1f%%) / "
+                "cpu %llu (%.1f%%); gpu aborted %llu (wasted %llu), cpu "
+                "wasted %llu\n",
+                static_cast<unsigned long long>(Total),
+                static_cast<unsigned long long>(gpuWorkGroupsCompleted()),
+                Pct(gpuWorkGroupsCompleted()),
+                static_cast<unsigned long long>(cpuWorkGroupsCompleted()),
+                Pct(cpuWorkGroupsCompleted()),
+                static_cast<unsigned long long>(gpuWorkGroupsAborted()),
+                static_cast<unsigned long long>(gpuWorkGroupsWasted()),
+                static_cast<unsigned long long>(cpuWorkGroupsWasted()));
+  }
+  for (const auto &[Name, Value] : Counters.counters())
+    std::printf("    %-32s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Value));
+  for (const auto &[Name, Value] : Counters.gauges())
+    std::printf("    %-32s %.4f\n", Name.c_str(), Value);
+  for (const LaneUtilization &U : Utilization)
+    std::printf("    util %-22s busy %.6f s (%5.1f%%)\n", U.Lane.c_str(),
+                U.Busy.toSeconds(), 100.0 * U.Utilization);
+}
+
+bool fcl::stats::writeReportsJson(const std::vector<RunReport> &Reports,
+                                  const std::string &Path) {
+  std::string Text;
+  if (Reports.size() == 1) {
+    Text = Reports.front().renderJson();
+  } else {
+    Text = "{\n  \"schema\": \"fcl-run-report-set-v1\",\n  \"runs\": [\n";
+    for (size_t I = 0; I < Reports.size(); ++I) {
+      Text += Reports[I].renderJson();
+      // Strip the trailing newline before the separator for tidy output.
+      if (!Text.empty() && Text.back() == '\n')
+        Text.pop_back();
+      Text += I + 1 < Reports.size() ? ",\n" : "\n";
+    }
+    Text += "  ]\n}\n";
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}

@@ -30,3 +30,36 @@ std::string fcl::formatString(const char *Fmt, ...) {
   va_end(Args);
   return Result;
 }
+
+std::string fcl::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      continue;
+    case '\\':
+      Out += "\\\\";
+      continue;
+    case '\n':
+      Out += "\\n";
+      continue;
+    case '\t':
+      Out += "\\t";
+      continue;
+    case '\r':
+      Out += "\\r";
+      continue;
+    default:
+      break;
+    }
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatString("\\u%04x", static_cast<unsigned>(
+                                         static_cast<unsigned char>(C)));
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}

@@ -27,6 +27,12 @@ __attribute__((format(printf, 1, 2)))
 #endif
 std::string formatString(const char *Fmt, ...);
 
+/// Escapes \p S for inclusion inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \uXXXX.
+/// Shared by every JSON emitter (trace, stats) so no interpolation site can
+/// produce invalid JSON from a hostile kernel or buffer name.
+std::string jsonEscape(const std::string &S);
+
 } // namespace fcl
 
 #endif // FCL_SUPPORT_FORMAT_H

@@ -27,11 +27,27 @@ void Tracer::record(std::string Lane, std::string Name, TimePoint Start,
   Events.push_back(std::move(E));
 }
 
+void Tracer::counter(std::string Track, TimePoint At, double Value) {
+  CounterSample S;
+  S.Track = std::move(Track);
+  S.At = At;
+  S.Value = Value;
+  Counters.push_back(std::move(S));
+}
+
 std::vector<TraceEvent> Tracer::laneEvents(const std::string &Lane) const {
   std::vector<TraceEvent> Out;
   for (const TraceEvent &E : Events)
     if (E.Lane == Lane)
       Out.push_back(E);
+  return Out;
+}
+
+std::vector<CounterSample> Tracer::trackSamples(const std::string &Track) const {
+  std::vector<CounterSample> Out;
+  for (const CounterSample &S : Counters)
+    if (S.Track == Track)
+      Out.push_back(S);
   return Out;
 }
 
@@ -41,21 +57,6 @@ Duration Tracer::laneBusy(const std::string &Lane) const {
     if (E.Lane == Lane)
       Busy += E.duration();
   return Busy;
-}
-
-static std::string escapeJson(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    if (static_cast<unsigned char>(C) < 0x20) {
-      Out += formatString("\\u%04x", C);
-      continue;
-    }
-    Out += C;
-  }
-  return Out;
 }
 
 std::string Tracer::renderChromeTrace() const {
@@ -74,7 +75,7 @@ std::string Tracer::renderChromeTrace() const {
     First = false;
     Out += formatString("{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
                         "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
-                        LaneIds[Lane], escapeJson(Lane).c_str());
+                        LaneIds[Lane], jsonEscape(Lane).c_str());
   }
   for (const TraceEvent &E : Events) {
     if (!First)
@@ -83,10 +84,21 @@ std::string Tracer::renderChromeTrace() const {
     Out += formatString(
         "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
         "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"detail\":\"%s\"}}",
-        LaneIds[E.Lane], escapeJson(E.Name).c_str(),
+        LaneIds[E.Lane], jsonEscape(E.Name).c_str(),
         static_cast<double>(E.Start.nanos()) / 1000.0,
         static_cast<double>(E.duration().nanos()) / 1000.0,
-        escapeJson(E.Detail).c_str());
+        jsonEscape(E.Detail).c_str());
+  }
+  // Counter tracks: Perfetto groups "C" events of the same pid/name into one
+  // step-function track beside the slice lanes.
+  for (const CounterSample &S : Counters) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString("{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                        "\"ts\":%.3f,\"args\":{\"value\":%g}}",
+                        jsonEscape(S.Track).c_str(),
+                        static_cast<double>(S.At.nanos()) / 1000.0, S.Value);
   }
   Out += "\n]}\n";
   return Out;

@@ -38,25 +38,48 @@ struct TraceEvent {
   Duration duration() const { return End - Start; }
 };
 
-/// Collects slices and renders them as a Chrome trace.
+/// One point of a Perfetto counter track ("C" phase event): the value of a
+/// named quantity at an instant (chunk size, outstanding transfers, live
+/// work-groups, ...). The viewer draws each track as a step function next
+/// to the slice lanes, so the numbers line up visually with the timeline.
+struct CounterSample {
+  std::string Track;
+  TimePoint At;
+  double Value = 0;
+};
+
+/// Collects slices and counter samples and renders them as a Chrome trace.
 class Tracer {
 public:
   /// Records a slice; \p End must not precede \p Start.
   void record(std::string Lane, std::string Name, TimePoint Start,
               TimePoint End, std::string Detail = std::string());
 
+  /// Records one counter-track point.
+  void counter(std::string Track, TimePoint At, double Value);
+
   const std::vector<TraceEvent> &events() const { return Events; }
+  const std::vector<CounterSample> &counterSamples() const {
+    return Counters;
+  }
   size_t size() const { return Events.size(); }
-  void clear() { Events.clear(); }
+  void clear() {
+    Events.clear();
+    Counters.clear();
+  }
 
   /// Events on one lane, in record order.
   std::vector<TraceEvent> laneEvents(const std::string &Lane) const;
 
+  /// Counter samples of one track, in record order.
+  std::vector<CounterSample> trackSamples(const std::string &Track) const;
+
   /// Busy time (sum of slice durations) of one lane.
   Duration laneBusy(const std::string &Lane) const;
 
-  /// Renders the Chrome tracing JSON ("traceEvents" array of "X" slices,
-  /// one tid per lane, microsecond timestamps).
+  /// Renders the Chrome tracing JSON: a "traceEvents" array of "X" slices
+  /// (one tid per lane, microsecond timestamps) plus "C" counter events,
+  /// one Perfetto counter track per distinct counter name.
   std::string renderChromeTrace() const;
 
   /// Writes the Chrome trace to \p Path; false if the file cannot be
@@ -65,6 +88,7 @@ public:
 
 private:
   std::vector<TraceEvent> Events;
+  std::vector<CounterSample> Counters;
 };
 
 } // namespace trace

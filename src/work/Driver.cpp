@@ -178,6 +178,73 @@ Duration fcl::work::timeUnder(RuntimeKind K, const Workload &W,
   FCL_UNREACHABLE("covered switch");
 }
 
+stats::RunReport
+fcl::work::collectRunReport(const runtime::HeteroRuntime &RT,
+                            const Workload &W, Duration Wall,
+                            const trace::Tracer *T) {
+  stats::RunReport Rep;
+  Rep.WorkloadName = W.Name;
+  Rep.Wall = Wall;
+  RT.collectStats(Rep);
+  if (T)
+    Rep.addUtilizationFromTracer(*T, Wall);
+  return Rep;
+}
+
+namespace {
+
+stats::RunReport runReported(runtime::HeteroRuntime &RT, const Workload &W,
+                             trace::Tracer *T) {
+  if (T)
+    RT.context().setTracer(T);
+  RunResult Res = runWorkload(RT, W, false);
+  return collectRunReport(RT, W, Res.Total, T);
+}
+
+} // namespace
+
+stats::RunReport fcl::work::reportUnder(RuntimeKind K, const Workload &W,
+                                        const RunConfig &C,
+                                        trace::Tracer *T) {
+  switch (K) {
+  case RuntimeKind::CpuOnly: {
+    mcl::Context Ctx(C.M, C.Mode);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
+    return runReported(RT, W, T);
+  }
+  case RuntimeKind::GpuOnly: {
+    mcl::Context Ctx(C.M, C.Mode);
+    runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Gpu);
+    return runReported(RT, W, T);
+  }
+  case RuntimeKind::FluidiCL: {
+    mcl::Context Ctx(C.M, C.Mode);
+    fluidicl::Runtime RT(Ctx, C.FclOpts);
+    return runReported(RT, W, T);
+  }
+  case RuntimeKind::SoclEager: {
+    socl::PerfModel Model;
+    mcl::Context Ctx(C.M, C.Mode);
+    socl::SoclRuntime RT(Ctx, socl::Policy::Eager, Model);
+    return runReported(RT, W, T);
+  }
+  case RuntimeKind::SoclDmda: {
+    socl::PerfModel Model;
+    for (int I = 0; I < C.DmdaCalibrationRuns; ++I) {
+      mcl::Context Ctx(C.M, C.Mode);
+      socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model,
+                           /*Calibrating=*/true,
+                           /*TaskSeed=*/static_cast<uint64_t>(I));
+      runWorkload(RT, W, false);
+    }
+    mcl::Context Ctx(C.M, C.Mode);
+    socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model);
+    return runReported(RT, W, T);
+  }
+  }
+  FCL_UNREACHABLE("covered switch");
+}
+
 Duration fcl::work::timeStaticPartition(const Workload &W, double GpuFraction,
                                         const RunConfig &C) {
   mcl::Context Ctx(C.M, C.Mode);

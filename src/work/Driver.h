@@ -21,6 +21,7 @@
 #include "runtime/ProfiledSplit.h"
 #include "hw/Machine.h"
 #include "mcl/Context.h"
+#include "stats/Report.h"
 #include "work/Workload.h"
 
 #include <cstddef>
@@ -78,6 +79,22 @@ struct RunConfig {
 /// Total running time of \p W under runtime \p K on a fresh machine.
 Duration timeUnder(RuntimeKind K, const Workload &W,
                    const RunConfig &C = RunConfig());
+
+/// Packs everything a finished run produced into a RunReport: the
+/// runtime's counters and per-launch records, the workload name, the
+/// measured wall time, and per-lane utilization when a tracer observed
+/// the run.
+stats::RunReport collectRunReport(const runtime::HeteroRuntime &RT,
+                                  const Workload &W, Duration Wall,
+                                  const trace::Tracer *T = nullptr);
+
+/// Like timeUnder, but returns the full run report. When \p T is non-null
+/// it is attached to the fresh context for the run's whole lifetime, so
+/// the report gains per-lane utilization and the tracer gains the run's
+/// slices and counter tracks.
+stats::RunReport reportUnder(RuntimeKind K, const Workload &W,
+                             const RunConfig &C = RunConfig(),
+                             trace::Tracer *T = nullptr);
 
 /// Total running time under a manual static partition at \p GpuFraction.
 Duration timeStaticPartition(const Workload &W, double GpuFraction,

@@ -73,6 +73,61 @@ TEST(TracerTest, EscapesJsonSpecials) {
   EXPECT_NE(Json.find("na\\\\me"), std::string::npos);
 }
 
+TEST(TracerTest, EscapesControlCharsAndHostileNames) {
+  Tracer T;
+  // A kernel name with every class of hostile character: quote, backslash,
+  // newline, tab, and an embedded control byte.
+  T.record("lane\none", "ker\"nel\\\t\x01", TimePoint(0), TimePoint(1),
+           "d=\"x\"");
+  T.counter("cnt\"track", TimePoint(0), 1.0);
+  std::string Json = T.renderChromeTrace();
+  // No raw tab or control byte may survive into the output (newlines are
+  // legitimate inter-event formatting, so check the escaped forms instead).
+  EXPECT_EQ(Json.find('\t'), std::string::npos);
+  EXPECT_EQ(Json.find('\x01'), std::string::npos);
+  EXPECT_NE(Json.find("lane\\none"), std::string::npos);
+  EXPECT_NE(Json.find("ker\\\"nel\\\\\\t\\u0001"), std::string::npos);
+  EXPECT_NE(Json.find("cnt\\\"track"), std::string::npos);
+}
+
+TEST(TracerTest, CounterSamplesRecordedAndFiltered) {
+  Tracer T;
+  T.counter("chunk", TimePoint(0), 2.0);
+  T.counter("transfers", TimePoint(50), 1.0);
+  T.counter("chunk", TimePoint(100), 4.0);
+  ASSERT_EQ(T.counterSamples().size(), 3u);
+  auto Chunk = T.trackSamples("chunk");
+  ASSERT_EQ(Chunk.size(), 2u);
+  EXPECT_EQ(Chunk[0].Value, 2.0);
+  EXPECT_EQ(Chunk[1].Value, 4.0);
+  EXPECT_TRUE(T.trackSamples("missing").empty());
+  T.clear();
+  EXPECT_TRUE(T.counterSamples().empty());
+}
+
+TEST(TracerTest, ChromeTraceEmitsCounterEvents) {
+  Tracer T;
+  T.record("GPU", "kernel", TimePoint(0), TimePoint(1000));
+  T.counter("Outstanding transfers", TimePoint(500), 3.0);
+  std::string Json = T.renderChromeTrace();
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"Outstanding transfers\""), std::string::npos);
+  EXPECT_NE(Json.find("\"args\":{\"value\":3}"), std::string::npos);
+}
+
+TEST(TracerIntegrationTest, FluidiclRunEmitsCounterTracks) {
+  Tracer T;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
+  Ctx.setTracer(&T);
+  fluidicl::Runtime RT(Ctx);
+  work::runWorkload(RT, work::makeSyrk(1024, 1024), false);
+  EXPECT_FALSE(T.trackSamples("SimGPU live work-groups").empty());
+  EXPECT_FALSE(T.trackSamples("Outstanding transfers").empty());
+  EXPECT_FALSE(T.trackSamples("CPU chunk work-groups").empty());
+  // Transfer tracking must balance: the final sample returns to zero.
+  EXPECT_EQ(T.trackSamples("Outstanding transfers").back().Value, 0.0);
+}
+
 TEST(TracerTest, WriteFileRoundTrip) {
   Tracer T;
   T.record("a", "x", TimePoint(0), TimePoint(1));

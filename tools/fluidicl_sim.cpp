@@ -20,6 +20,7 @@
 #include "runtime/StaticPartition.h"
 #include "socl/SoclRuntime.h"
 #include "support/ArgParser.h"
+#include "support/Csv.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "trace/Tracer.h"
@@ -67,31 +68,53 @@ struct ToolConfig {
   fluidicl::Options FclOpts;
   double GpuFraction = 0.5;
   std::string TracePath;
+  /// --stats / --stats-json / --stats-csv.
+  bool PrintStats = false;
+  std::string StatsJsonPath;
+  std::string StatsCsvPath;
+
+  bool statsWanted() const {
+    return PrintStats || !StatsJsonPath.empty() || !StatsCsvPath.empty();
+  }
 };
 
 /// Runs one workload under one named runtime; returns the result (or a
-/// zero-duration result if the runtime name is unknown).
+/// zero-duration result if the runtime name is unknown). When stats are
+/// requested the run's report is appended to \p Reports.
 RunResult runOne(const std::string &Runtime, const Workload &W,
-                 const ToolConfig &Cfg, bool Validate) {
+                 const ToolConfig &Cfg, bool Validate,
+                 std::vector<stats::RunReport> &Reports) {
   mcl::Context Ctx(Cfg.M, Cfg.Mode);
   trace::Tracer Tracer;
-  if (!Cfg.TracePath.empty())
+  // Stats need the tracer too: per-device utilization is derived from the
+  // recorded lanes.
+  bool UseTracer = !Cfg.TracePath.empty() || Cfg.statsWanted();
+  if (UseTracer)
     Ctx.setTracer(&Tracer);
 
   RunResult Res;
+  auto Collect = [&](const runtime::HeteroRuntime &RT) {
+    if (Cfg.statsWanted())
+      Reports.push_back(collectRunReport(RT, W, Res.Total,
+                                         UseTracer ? &Tracer : nullptr));
+  };
   if (Runtime == "cpu") {
     runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Cpu);
     Res = runWorkload(RT, W, Validate);
+    Collect(RT);
   } else if (Runtime == "gpu") {
     runtime::SingleDeviceRuntime RT(Ctx, mcl::DeviceKind::Gpu);
     Res = runWorkload(RT, W, Validate);
+    Collect(RT);
   } else if (Runtime == "static") {
     runtime::StaticPartitionRuntime RT(Ctx, Cfg.GpuFraction);
     Res = runWorkload(RT, W, Validate);
+    Collect(RT);
   } else if (Runtime == "socl-eager") {
     socl::PerfModel Model;
     socl::SoclRuntime RT(Ctx, socl::Policy::Eager, Model);
     Res = runWorkload(RT, W, Validate);
+    Collect(RT);
   } else if (Runtime == "socl-dmda") {
     socl::PerfModel Model;
     for (int I = 0; I < 10; ++I) {
@@ -102,6 +125,7 @@ RunResult runOne(const std::string &Runtime, const Workload &W,
     }
     socl::SoclRuntime RT(Ctx, socl::Policy::Dmda, Model);
     Res = runWorkload(RT, W, Validate);
+    Collect(RT);
   } else if (Runtime == "fluidicl") {
     fluidicl::Runtime RT(Ctx, Cfg.FclOpts);
     Res = runWorkload(RT, W, Validate);
@@ -115,15 +139,21 @@ RunResult runOne(const std::string &Runtime, const Workload &W,
                   static_cast<unsigned long long>(S.CpuSubkernels),
                   S.FinalChunkPct,
                   S.CpuRanEverything ? " (CPU ran everything)" : "");
+    Collect(RT);
   } else {
     std::fprintf(stderr, "unknown runtime '%s'\n", Runtime.c_str());
     return Res;
   }
 
+  if (Cfg.PrintStats && !Reports.empty())
+    Reports.back().printSummary();
+
   if (!Cfg.TracePath.empty()) {
     if (Tracer.writeChromeTrace(Cfg.TracePath))
-      std::printf("    trace written to %s (%zu slices)\n",
-                  Cfg.TracePath.c_str(), Tracer.size());
+      std::printf("    trace written to %s (%zu slices, %zu counter "
+                  "samples)\n",
+                  Cfg.TracePath.c_str(), Tracer.size(),
+                  Tracer.counterSamples().size());
     else
       std::fprintf(stderr, "could not write trace to %s\n",
                    Cfg.TracePath.c_str());
@@ -157,6 +187,9 @@ int main(int Argc, char **Argv) {
   Args.addOption("gpu-load", "external GPU slowdown factor", "1");
   Args.addFlag("functional", "execute kernels for real and validate");
   Args.addOption("trace", "write a Chrome trace JSON to this path", "");
+  Args.addFlag("stats", "print per-run counter/utilization summaries");
+  Args.addOption("stats-json", "write run reports as JSON to this path", "");
+  Args.addOption("stats-csv", "write per-launch stats CSV to this path", "");
 
   if (!Args.parse(Argc - 1, Argv + 1)) {
     std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
@@ -185,6 +218,9 @@ int main(int Argc, char **Argv) {
   Cfg.FclOpts.DataLocationTracking = !Args.flag("no-location");
   Cfg.FclOpts.OnlineProfiling = Args.flag("profiling");
   Cfg.TracePath = Args.str("trace");
+  Cfg.PrintStats = Args.flag("stats");
+  Cfg.StatsJsonPath = Args.str("stats-json");
+  Cfg.StatsCsvPath = Args.str("stats-csv");
 
   std::vector<Workload> Loads =
       selectWorkloads(Args.str("workload"), Args.i64("size"));
@@ -203,11 +239,12 @@ int main(int Argc, char **Argv) {
 
   bool Validate = Args.flag("functional");
   bool AnyInvalid = false;
+  std::vector<stats::RunReport> Reports;
   for (const Workload &W : Loads) {
     std::printf("== %s - %s\n", W.Name.c_str(), W.Summary.c_str());
     Table T({"runtime", "total (s)", Validate ? "validated" : ""});
     for (const std::string &R : Runtimes) {
-      RunResult Res = runOne(R, W, Cfg, Validate);
+      RunResult Res = runOne(R, W, Cfg, Validate, Reports);
       std::string Check;
       if (Res.Validated) {
         Check = Res.Valid ? "ok" : "FAILED";
@@ -218,6 +255,25 @@ int main(int Argc, char **Argv) {
     }
     T.print();
     std::printf("\n");
+  }
+
+  if (!Cfg.StatsJsonPath.empty()) {
+    if (stats::writeReportsJson(Reports, Cfg.StatsJsonPath))
+      std::printf("stats JSON written to %s (%zu runs)\n",
+                  Cfg.StatsJsonPath.c_str(), Reports.size());
+    else
+      std::fprintf(stderr, "could not write stats JSON to %s\n",
+                   Cfg.StatsJsonPath.c_str());
+  }
+  if (!Cfg.StatsCsvPath.empty()) {
+    CsvWriter Csv(stats::RunReport::csvHeader());
+    for (const stats::RunReport &Rep : Reports)
+      Rep.appendCsvRows(Csv);
+    if (Csv.writeFile(Cfg.StatsCsvPath))
+      std::printf("stats CSV written to %s\n", Cfg.StatsCsvPath.c_str());
+    else
+      std::fprintf(stderr, "could not write stats CSV to %s\n",
+                   Cfg.StatsCsvPath.c_str());
   }
   return AnyInvalid ? 1 : 0;
 }
