@@ -1,0 +1,130 @@
+//===- check/AccessOracle.h - Observed-access verification ------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AccessOracle executes one kernel launch work-group by work-group
+/// against shadow copies of its buffers and derives each work-group's
+/// byte-exact write footprint, then validates the observed footprints
+/// against the declared kern::ArgAccess / UsesAtomics / RowContiguousOutput
+/// metadata that FluidiCL's duplicate/merge machinery trusts blindly.
+///
+/// Kernels access buffers through raw pointers (ArgsView::bufferAs), so the
+/// oracle cannot intercept loads and stores. Instead it uses differential
+/// probing:
+///
+///  * Each work-group runs in isolation against pristine buffer copies; the
+///    byte diff afterwards is its baseline write set.
+///  * For every declared-written argument the group is re-run with that one
+///    buffer's bytes XOR-perturbed (0xA5). Bytes whose written values (or
+///    write-set membership) change reveal dependence on the buffer's prior
+///    contents: a read-modify-write on the same argument, or an Out
+///    argument that is secretly an InOut.
+///  * A per-byte first-writer map across work-groups detects cross-group
+///    write overlaps — the exact hazard that breaks the byte-level
+///    diff/merge — and classifies them as lost-update overlaps, benign
+///    same-value overlaps, or hidden atomic-style accumulation.
+///
+/// The oracle assumes the kernel is group-order independent (no work-group
+/// reads another group's output), which is precisely the fluidic-safety
+/// property being certified; order-dependent kernels surface as collision
+/// or prior-contents diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CHECK_ACCESSORACLE_H
+#define FCL_CHECK_ACCESSORACLE_H
+
+#include "check/Diag.h"
+#include "kern/Kernel.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcl {
+namespace check {
+
+/// One argument handed to the oracle: a host-side byte vector for buffer
+/// arguments (the oracle never mutates it) or a scalar value.
+struct OracleBinding {
+  const std::vector<std::byte> *Host = nullptr;
+  int64_t IntValue = 0;
+  double FpValue = 0;
+
+  static OracleBinding buffer(const std::vector<std::byte> &B) {
+    OracleBinding V;
+    V.Host = &B;
+    return V;
+  }
+  static OracleBinding scalarInt(int64_t I) {
+    OracleBinding V;
+    V.IntValue = I;
+    V.FpValue = static_cast<double>(I);
+    return V;
+  }
+  static OracleBinding scalarFp(double D) {
+    OracleBinding V;
+    V.FpValue = D;
+    V.IntValue = static_cast<int64_t>(D);
+    return V;
+  }
+};
+
+/// Observed behaviour of one argument across the probed launch.
+struct ArgObservation {
+  /// Distinct bytes written by at least one work-group.
+  uint64_t BytesWritten = 0;
+  /// Bytes written by 2+ work-groups where at least one write was a
+  /// read-modify-write of the same buffer (atomic-style accumulation).
+  uint64_t RmwCollisionBytes = 0;
+  /// Bytes written by 2+ work-groups with differing plain values (merge
+  /// picks an arbitrary winner: lost update).
+  uint64_t LostUpdateBytes = 0;
+  /// Bytes written by 2+ work-groups with identical plain values.
+  uint64_t BenignOverlapBytes = 0;
+  /// Written bytes falling outside the writing group's covering row band
+  /// (only tracked when the kernel declares RowContiguousOutput).
+  uint64_t RowBandEscapes = 0;
+  /// Written values somewhere in the launch depend on this argument's
+  /// prior contents (fatal for arguments declared Out: FluidiCL hands the
+  /// kernel an unmerged duplicate).
+  bool PriorContentsDependence = false;
+};
+
+/// Result of probing one kernel call.
+struct OracleReport {
+  /// False when the call was skipped (probe cost above budget).
+  bool Probed = false;
+  /// Cross-work-group collisions observed (RMW or lost-update): the kernel
+  /// must not be split across devices.
+  bool SplitHazard = false;
+  /// Error-severity diagnostics emitted for this call.
+  uint64_t Errors = 0;
+  /// Warning-severity diagnostics emitted for this call.
+  uint64_t Warnings = 0;
+  /// Per-argument observations (empty when !Probed); scalar slots stay
+  /// default-initialized.
+  std::vector<ArgObservation> Args;
+};
+
+/// Default probe budget in scanned bytes (roughly groups x runs x total
+/// buffer bytes); calls above it are skipped with a CheckSkippedTooLarge
+/// info diagnostic. 1 GiB keeps the probe well under a second.
+inline constexpr uint64_t OracleDefaultBudget = 1ull << 30;
+
+/// Probes one launch of \p Kernel over \p Range with arguments \p Args
+/// (one binding per declared argument; buffer bindings for In/Out/InOut,
+/// scalar bindings for Scalar) and reports metadata disagreements into
+/// \p Sink. Host buffers are never modified.
+OracleReport verifyCall(const kern::KernelInfo &Kernel,
+                        const kern::NDRange &Range,
+                        const std::vector<OracleBinding> &Args, DiagSink &Sink,
+                        uint64_t BudgetBytes = OracleDefaultBudget);
+
+} // namespace check
+} // namespace fcl
+
+#endif // FCL_CHECK_ACCESSORACLE_H

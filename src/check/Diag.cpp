@@ -1,0 +1,190 @@
+//===- check/Diag.cpp - Fluidic-safety diagnostics ------------------------===//
+
+#include "check/Diag.h"
+
+#include "stats/Registry.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+namespace fcl::check {
+
+const char *diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::WriteToReadOnlyArg:
+    return "access_write_to_in";
+  case DiagKind::UnwrittenOutArg:
+    return "access_unwritten_out";
+  case DiagKind::OutArgReadsPriorContents:
+    return "access_out_reads_prior";
+  case DiagKind::CrossGroupWriteOverlap:
+    return "access_cross_group_overlap";
+  case DiagKind::BenignWriteOverlap:
+    return "access_benign_overlap";
+  case DiagKind::HiddenAtomicHazard:
+    return "access_hidden_atomic";
+  case DiagKind::UnsafeSplitDeclared:
+    return "access_unsafe_split_declared";
+  case DiagKind::DeclaredAtomicsUnobserved:
+    return "access_atomics_unobserved";
+  case DiagKind::RowBandViolation:
+    return "access_row_band_violation";
+  case DiagKind::KernelNotCovered:
+    return "access_kernel_not_covered";
+  case DiagKind::CheckSkippedTooLarge:
+    return "access_skipped_too_large";
+  case DiagKind::CpuRangeViolation:
+    return "protocol_cpu_range";
+  case DiagKind::BoundaryNotMonotone:
+    return "protocol_boundary_not_monotone";
+  case DiagKind::StatusBeforeData:
+    return "protocol_status_before_data";
+  case DiagKind::GpuCoverageGap:
+    return "protocol_gpu_coverage_gap";
+  case DiagKind::CpuCoverageGap:
+    return "protocol_cpu_coverage_gap";
+  case DiagKind::MergeBoundaryMismatch:
+    return "protocol_merge_boundary_mismatch";
+  case DiagKind::DoubleMerge:
+    return "protocol_double_merge";
+  case DiagKind::UnexpectedMerge:
+    return "protocol_unexpected_merge";
+  case DiagKind::MergeMissing:
+    return "protocol_merge_missing";
+  case DiagKind::VersionRegression:
+    return "protocol_version_regression";
+  case DiagKind::ScratchLeak:
+    return "protocol_scratch_leak";
+  case DiagKind::UseAfterRelease:
+    return "shim_use_after_release";
+  case DiagKind::DoubleRelease:
+    return "shim_double_release";
+  case DiagKind::UnsetKernelArgs:
+    return "shim_unset_kernel_args";
+  case DiagKind::NonBlockingReadAssumed:
+    return "shim_nonblocking_read";
+  case DiagKind::LeakedObjects:
+    return "shim_leaked_objects";
+  }
+  FCL_UNREACHABLE("unknown DiagKind");
+}
+
+Severity diagDefaultSeverity(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::WriteToReadOnlyArg:
+  case DiagKind::UnwrittenOutArg:
+  case DiagKind::OutArgReadsPriorContents:
+  case DiagKind::CrossGroupWriteOverlap:
+  case DiagKind::HiddenAtomicHazard:
+  case DiagKind::RowBandViolation:
+  case DiagKind::CpuRangeViolation:
+  case DiagKind::BoundaryNotMonotone:
+  case DiagKind::StatusBeforeData:
+  case DiagKind::GpuCoverageGap:
+  case DiagKind::CpuCoverageGap:
+  case DiagKind::MergeBoundaryMismatch:
+  case DiagKind::DoubleMerge:
+  case DiagKind::UnexpectedMerge:
+  case DiagKind::MergeMissing:
+  case DiagKind::VersionRegression:
+  case DiagKind::ScratchLeak:
+  case DiagKind::UseAfterRelease:
+  case DiagKind::DoubleRelease:
+  case DiagKind::UnsetKernelArgs:
+    return Severity::Error;
+  case DiagKind::BenignWriteOverlap:
+  case DiagKind::KernelNotCovered:
+  case DiagKind::NonBlockingReadAssumed:
+  case DiagKind::LeakedObjects:
+    return Severity::Warning;
+  case DiagKind::UnsafeSplitDeclared:
+  case DiagKind::DeclaredAtomicsUnobserved:
+  case DiagKind::CheckSkippedTooLarge:
+    return Severity::Info;
+  }
+  FCL_UNREACHABLE("unknown DiagKind");
+}
+
+const char *severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Info:
+    return "info";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  FCL_UNREACHABLE("unknown Severity");
+}
+
+std::string Diag::str() const {
+  std::ostringstream Os;
+  Os << severityName(Sev) << ": [" << diagKindName(Kind) << "]";
+  if (!Kernel.empty())
+    Os << " '" << Kernel << "'";
+  if (ArgIndex >= 0)
+    Os << " arg #" << ArgIndex;
+  Os << ": " << Message;
+  return Os.str();
+}
+
+bool parsePolicy(const std::string &Text, Policy &Out) {
+  if (Text.empty() || Text == "on" || Text == "warn") {
+    Out = Policy::Warn;
+    return true;
+  }
+  if (Text == "off") {
+    Out = Policy::Off;
+    return true;
+  }
+  if (Text == "fail") {
+    Out = Policy::Fail;
+    return true;
+  }
+  return false;
+}
+
+void DiagSink::report(Diag D) {
+  if (Pol == Policy::Off)
+    return;
+  if (D.Sev == Severity::Error)
+    ++Errors;
+  else if (D.Sev == Severity::Warning)
+    ++Warnings;
+  if (Stats) {
+    Stats->add("check_diags");
+    if (D.Sev == Severity::Error)
+      Stats->add("check_errors");
+    else if (D.Sev == Severity::Warning)
+      Stats->add("check_warnings");
+    Stats->add(std::string("check_") + diagKindName(D.Kind));
+  }
+  Diags.push_back(std::move(D));
+  if (Observer)
+    Observer(Diags.back());
+}
+
+uint64_t DiagSink::count(DiagKind Kind) const {
+  uint64_t N = 0;
+  for (const Diag &D : Diags)
+    if (D.Kind == Kind)
+      ++N;
+  return N;
+}
+
+void DiagSink::clear() {
+  Diags.clear();
+  Errors = 0;
+  Warnings = 0;
+}
+
+std::string DiagSink::renderAll() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace fcl::check

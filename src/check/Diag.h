@@ -1,0 +1,229 @@
+//===- check/Diag.h - Fluidic-safety diagnostics ----------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic catalogue and sink of the fcl::check subsystem. Three
+/// producers feed it: the AccessOracle (observed kernel access footprints
+/// vs declared ArgAccess/UsesAtomics metadata), the ProtocolChecker
+/// (cooperative-protocol invariants inside the FluidiCL runtime), and the
+/// ShimLint validation layer in the OpenCL-style host API. The sink
+/// collects structured diagnostics, mirrors them into fcl::stats counters
+/// (check_errors, check_warnings, check_<kind>) and, when a tracer is
+/// observing the run, into zero-duration "Check" lane slices so violations
+/// line up with the timeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CHECK_DIAG_H
+#define FCL_CHECK_DIAG_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fcl {
+
+namespace stats {
+class Registry;
+}
+
+namespace check {
+
+/// Everything the checker can complain about. Grouped by producer; the
+/// catalogue (name, default severity, meaning) is documented in
+/// docs/ANALYSIS.md.
+enum class DiagKind {
+  // --- AccessOracle: declared metadata vs observed behaviour -------------
+  /// A work-item wrote bytes of an argument declared ArgAccess::In.
+  WriteToReadOnlyArg,
+  /// An argument declared Out (or InOut) was never written by any
+  /// work-group of the probe launch.
+  UnwrittenOutArg,
+  /// Written values of an argument declared Out depend on the buffer's
+  /// prior contents: the argument must be declared InOut or its data is
+  /// lost when FluidiCL substitutes the unmerged duplicate.
+  OutArgReadsPriorContents,
+  /// Two work-groups wrote different values to the same byte without the
+  /// kernel being marked UsesAtomics: the byte-level diff/merge picks an
+  /// arbitrary winner (lost update).
+  CrossGroupWriteOverlap,
+  /// Two work-groups wrote the same byte with the same value (e.g.
+  /// redundant boundary writes). Merge-safe, but fragile.
+  BenignWriteOverlap,
+  /// Read-modify-write collision across work-groups (histogram-style
+  /// accumulation) on a kernel not marked UsesAtomics: splitting loses
+  /// increments.
+  HiddenAtomicHazard,
+  /// Cross-work-group collisions observed and UsesAtomics is declared:
+  /// the kernel is correctly classified unsafe-to-split (GPU-only
+  /// fallback, paper section 7).
+  UnsafeSplitDeclared,
+  /// UsesAtomics is declared but no collision was observed in the probe:
+  /// possibly over-conservative (safe, but forfeits co-execution).
+  DeclaredAtomicsUnobserved,
+  /// KernelInfo::RowContiguousOutput is declared but a work-group wrote
+  /// outside its covering row band (breaks the region-transfer extension).
+  RowBandViolation,
+  /// A registered kernel has no coverage workload; the sweep could not
+  /// verify it.
+  KernelNotCovered,
+  /// A call was skipped because the probe cost exceeds the oracle budget.
+  CheckSkippedTooLarge,
+
+  // --- ProtocolChecker: cooperative-execution invariants ------------------
+  /// CPU subkernel ranges must descend contiguously from the top of the
+  /// NDRange and never re-execute a work-group.
+  CpuRangeViolation,
+  /// The GPU-visible boundary must be non-increasing.
+  BoundaryNotMonotone,
+  /// A status commit advertised CPU work-groups whose data was never
+  /// staged on the hd queue (the "data travels before status" rule).
+  StatusBeforeData,
+  /// The merge set credits the GPU with work-groups it never executed.
+  GpuCoverageGap,
+  /// The merge set credits the CPU with work-groups it never executed (or
+  /// whose completion was never committed).
+  CpuCoverageGap,
+  /// The merge set boundary disagrees with the last committed status.
+  MergeBoundaryMismatch,
+  /// An out buffer was merged more than once (double-applied CPU data).
+  DoubleMerge,
+  /// A merge ran although the CPU contributed no data.
+  UnexpectedMerge,
+  /// Cooperative launch finished without merging every out buffer.
+  MergeMissing,
+  /// A buffer version moved backwards, or the CPU copy claims a version
+  /// newer than the expected one.
+  VersionRegression,
+  /// Pooled scratch buffers (orig / cpu-data) were not all returned.
+  ScratchLeak,
+
+  // --- ShimLint: OpenCL-style host API misuse -----------------------------
+  /// An API call referenced a released context, queue, buffer or kernel.
+  UseAfterRelease,
+  /// An object was released twice.
+  DoubleRelease,
+  /// clEnqueueNDRangeKernel with unset kernel arguments.
+  UnsetKernelArgs,
+  /// A non-blocking read was requested; the shim treats it as blocking,
+  /// but the host must not touch the result before the event completes in
+  /// real OpenCL.
+  NonBlockingReadAssumed,
+  /// A context was released while buffers/kernels/queues were still live.
+  LeakedObjects,
+};
+
+/// Number of distinct DiagKind values (for tables/tests).
+inline constexpr int NumDiagKinds =
+    static_cast<int>(DiagKind::LeakedObjects) + 1;
+
+enum class Severity {
+  Info,
+  Warning,
+  Error,
+};
+
+/// Stable snake_case identifier (also the stats counter suffix).
+const char *diagKindName(DiagKind Kind);
+
+/// Severity a diagnostic of \p Kind carries unless the producer overrides
+/// it (e.g. UnwrittenOutArg is an Error for Out but a Warning for InOut).
+Severity diagDefaultSeverity(DiagKind Kind);
+
+const char *severityName(Severity Sev);
+
+/// One structured diagnostic.
+struct Diag {
+  DiagKind Kind;
+  Severity Sev;
+  /// Kernel (or API object) the diagnostic is about; may be empty.
+  std::string Kernel;
+  /// Argument index for per-argument access diagnostics, -1 otherwise.
+  int ArgIndex = -1;
+  /// Human-readable description with the observed evidence.
+  std::string Message;
+
+  static Diag make(DiagKind Kind, std::string Kernel, std::string Message,
+                   int ArgIndex = -1) {
+    Diag D;
+    D.Kind = Kind;
+    D.Sev = diagDefaultSeverity(Kind);
+    D.Kernel = std::move(Kernel);
+    D.ArgIndex = ArgIndex;
+    D.Message = std::move(Message);
+    return D;
+  }
+
+  /// "error: [access_write_to_in] kernel 'x' arg #0: ..." rendering.
+  std::string str() const;
+};
+
+/// What the embedding tool does with error diagnostics.
+enum class Policy {
+  /// Checking disabled; report() is a no-op.
+  Off,
+  /// Collect and report; the run continues and exits successfully.
+  Warn,
+  /// Collect and report; tools exit non-zero when any Error was seen.
+  Fail,
+};
+
+/// Parses off|warn|fail (empty/"on" -> Warn). Returns false on junk.
+bool parsePolicy(const std::string &Text, Policy &Out);
+
+/// Collects diagnostics and fans them out to stats counters, the log, and
+/// an optional observer (the FluidiCL runtime uses the observer to emit
+/// tracer instants).
+class DiagSink {
+public:
+  explicit DiagSink(Policy P = Policy::Warn) : Pol(P) {}
+
+  Policy policy() const { return Pol; }
+  void setPolicy(Policy P) { Pol = P; }
+  bool enabled() const { return Pol != Policy::Off; }
+
+  /// Counter registry that mirrors every reported diagnostic (may be
+  /// null). Counters: check_diags, check_errors, check_warnings, and
+  /// check_<kind-name> per kind.
+  void setStats(stats::Registry *R) { Stats = R; }
+
+  /// Called for every collected diagnostic, after counters are bumped.
+  void setObserver(std::function<void(const Diag &)> Fn) {
+    Observer = std::move(Fn);
+  }
+
+  /// Collects \p D (no-op when the policy is Off).
+  void report(Diag D);
+
+  const std::vector<Diag> &diags() const { return Diags; }
+  uint64_t errorCount() const { return Errors; }
+  uint64_t warningCount() const { return Warnings; }
+
+  /// Number of collected diagnostics of \p Kind.
+  uint64_t count(DiagKind Kind) const;
+
+  /// True when the policy demands a non-zero exit (Fail + any Error).
+  bool shouldFail() const { return Pol == Policy::Fail && Errors > 0; }
+
+  void clear();
+
+  /// Renders every collected diagnostic, one per line.
+  std::string renderAll() const;
+
+private:
+  Policy Pol;
+  stats::Registry *Stats = nullptr;
+  std::function<void(const Diag &)> Observer;
+  std::vector<Diag> Diags;
+  uint64_t Errors = 0;
+  uint64_t Warnings = 0;
+};
+
+} // namespace check
+} // namespace fcl
+
+#endif // FCL_CHECK_DIAG_H

@@ -1,0 +1,206 @@
+//===- check/Fixtures.cpp - Deliberately misdeclared kernels ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Fixtures.h"
+
+using namespace fcl;
+using namespace fcl::check;
+using namespace fcl::kern;
+
+namespace {
+
+constexpr int64_t FixN = 64; // Two 32-wide work-groups.
+
+hw::WorkItemCost fixtureCost() {
+  hw::WorkItemCost C;
+  C.Flops = 1;
+  C.BytesRead = 4;
+  C.BytesWritten = 4;
+  C.GpuCoalescing = 1.0;
+  C.GpuEfficiency = 0.5;
+  C.CpuFlopEfficiency = 1.0;
+  C.CpuMemEfficiency = 1.0;
+  C.LoopTripCount = 1;
+  return C;
+}
+
+void registerFixtures(Registry &R) {
+  // Declares arg 0 In but writes it: the hazard FluidiCL's single-copy
+  // treatment of In buffers cannot tolerate.
+  {
+    KernelInfo K;
+    K.Name = "fix_write_to_in";
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I >= Args.i64(2))
+        return;
+      B[I] = A[I] * 2.0f;
+      A[I] = 1.0f; // Undeclared write.
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Declares two Out buffers but only ever writes the first: the second
+  // would be duplicated, merged and transferred for nothing.
+  {
+    KernelInfo K;
+    K.Name = "fix_unwritten_out";
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Out,
+              ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < Args.i64(3))
+        B[I] = A[I] + 1.0f;
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Declares its accumulator Out but reads it (B[i] += A[i]): FluidiCL
+  // hands Out kernels an unmerged duplicate, so prior contents are stale.
+  {
+    KernelInfo K;
+    K.Name = "fix_out_reads_prior";
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < Args.i64(2))
+        B[I] = B[I] + A[I]; // Undeclared read of prior contents.
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Every work-group writes the same output slots with its own values:
+  // the byte-level merge picks an arbitrary winner (lost update).
+  {
+    KernelInfo K;
+    K.Name = "fix_cross_group_write";
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < Args.i64(2))
+        B[Ctx.LocalId.X] = A[I]; // Same slot from every group.
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Histogram-style accumulation without UsesAtomics: cross-group
+  // read-modify-write collisions lose increments when split.
+  {
+    KernelInfo K;
+    K.Name = "fix_hidden_atomic";
+    K.Args = {ArgAccess::In, ArgAccess::InOut, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < Args.i64(2))
+        B[I % 8] += A[I]; // Accumulates across groups, no UsesAtomics.
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Declares UsesAtomics but is a plain elementwise map: forfeits
+  // co-execution for nothing (over-conservative, info diagnostic).
+  {
+    KernelInfo K;
+    K.Name = "fix_false_atomic";
+    K.UsesAtomics = true;
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < Args.i64(2))
+        B[I] = A[I] * 3.0f;
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+
+  // Declares RowContiguousOutput but each group writes the other group's
+  // band, which breaks the region-transfer extension.
+  {
+    KernelInfo K;
+    K.Name = "fix_row_band";
+    K.RowContiguousOutput = true;
+    K.Args = {ArgAccess::In, ArgAccess::Out, ArgAccess::Scalar};
+    K.Fn = [](const ItemCtx &Ctx, const ArgsView &Args) {
+      const float *A = Args.bufferAs<float>(0);
+      float *B = Args.bufferAs<float>(1);
+      int64_t N = Args.i64(2);
+      int64_t I = static_cast<int64_t>(Ctx.GlobalId.X);
+      if (I < N)
+        B[(I + 32) % N] = A[I]; // Lands in the neighbouring band.
+    };
+    K.Cost = [](const CostQuery &) { return fixtureCost(); };
+    R.add(std::move(K));
+  }
+}
+
+work::Workload twoBufferCase(const std::string &Kernel) {
+  work::Workload W;
+  W.Name = "fixture-" + Kernel;
+  W.Summary = "misdeclaration fixture";
+  W.Buffers = {{"a", FixN * 4}, {"b", FixN * 4}};
+  W.Calls.push_back({Kernel, kern::NDRange::of1D(FixN, 32),
+                     {runtime::KArg::buffer(0), runtime::KArg::buffer(1),
+                      runtime::KArg::i64(FixN)}});
+  W.ResultBuffers = {1};
+  return W;
+}
+
+} // namespace
+
+const kern::Registry &fcl::check::fixtureRegistry() {
+  static Registry *R = [] {
+    auto *Reg = new Registry();
+    registerFixtures(*Reg);
+    return Reg;
+  }();
+  return *R;
+}
+
+std::vector<FixtureCase> fcl::check::fixtureCases() {
+  std::vector<FixtureCase> Cases;
+  Cases.push_back({twoBufferCase("fix_write_to_in"),
+                   DiagKind::WriteToReadOnlyArg});
+  {
+    work::Workload W;
+    W.Name = "fixture-fix_unwritten_out";
+    W.Summary = "misdeclaration fixture";
+    W.Buffers = {{"a", FixN * 4}, {"b", FixN * 4}, {"c", FixN * 4}};
+    W.Calls.push_back({"fix_unwritten_out", kern::NDRange::of1D(FixN, 32),
+                       {runtime::KArg::buffer(0), runtime::KArg::buffer(1),
+                        runtime::KArg::buffer(2), runtime::KArg::i64(FixN)}});
+    W.ResultBuffers = {1};
+    Cases.push_back({std::move(W), DiagKind::UnwrittenOutArg});
+  }
+  Cases.push_back({twoBufferCase("fix_out_reads_prior"),
+                   DiagKind::OutArgReadsPriorContents});
+  Cases.push_back({twoBufferCase("fix_cross_group_write"),
+                   DiagKind::CrossGroupWriteOverlap});
+  Cases.push_back({twoBufferCase("fix_hidden_atomic"),
+                   DiagKind::HiddenAtomicHazard});
+  Cases.push_back({twoBufferCase("fix_false_atomic"),
+                   DiagKind::DeclaredAtomicsUnobserved});
+  Cases.push_back({twoBufferCase("fix_row_band"),
+                   DiagKind::RowBandViolation});
+  return Cases;
+}

@@ -1,0 +1,48 @@
+//===- check/Fixtures.h - Deliberately misdeclared kernels ------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixture kernels whose metadata deliberately disagrees with their
+/// behaviour, one per AccessOracle diagnostic: write-to-In, never-written
+/// Out, Out reading prior contents, cross-work-group lost-update overlap,
+/// hidden atomic-style accumulation, over-conservative UsesAtomics, and a
+/// RowContiguousOutput violation. They live in their own registry (never
+/// in Registry::builtin()) and exist to prove the analyzer catches each
+/// misdeclaration with the expected diagnostic — the checker's self-test
+/// and fluidicl_sim's --check-fixtures mode both run them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CHECK_FIXTURES_H
+#define FCL_CHECK_FIXTURES_H
+
+#include "check/Diag.h"
+#include "kern/Registry.h"
+#include "work/Workload.h"
+
+#include <vector>
+
+namespace fcl {
+namespace check {
+
+/// Registry preloaded with the misdeclared fixture kernels (lazily built,
+/// shared, read-only).
+const kern::Registry &fixtureRegistry();
+
+/// One fixture: a single-call workload over fixtureRegistry() and the
+/// diagnostic the AccessOracle must emit for it.
+struct FixtureCase {
+  work::Workload W;
+  DiagKind Expected;
+};
+
+/// All fixture cases, one per seeded misdeclaration.
+std::vector<FixtureCase> fixtureCases();
+
+} // namespace check
+} // namespace fcl
+
+#endif // FCL_CHECK_FIXTURES_H

@@ -1,0 +1,222 @@
+//===- check/ProtocolChecker.cpp - Cooperative-protocol invariants --------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProtocolChecker.h"
+
+#include "support/Format.h"
+
+using namespace fcl;
+using namespace fcl::check;
+
+ProtocolChecker::LaunchState *ProtocolChecker::find(uint64_t Id) {
+  auto It = Launches.find(Id);
+  return It == Launches.end() ? nullptr : &It->second;
+}
+
+void ProtocolChecker::reportLaunch(DiagKind Kind, const LaunchState &L,
+                                   std::string Message) {
+  Sink.report(Diag::make(Kind, L.Name, std::move(Message)));
+}
+
+void ProtocolChecker::onLaunchStart(uint64_t Id, const std::string &Name,
+                                    uint64_t TotalGroups, size_t NumOuts,
+                                    bool Cooperative) {
+  LaunchState L;
+  L.Name = Name;
+  L.Total = TotalGroups;
+  L.NumOuts = NumOuts;
+  L.Cooperative = Cooperative;
+  L.CpuLow = TotalGroups;
+  L.LastBoundary = TotalGroups;
+  L.DataCoveredFrom.assign(NumOuts, TotalGroups);
+  L.MergeCount.assign(NumOuts, 0);
+  Launches[Id] = std::move(L);
+}
+
+void ProtocolChecker::onCpuSubkernel(uint64_t Id, uint64_t Begin,
+                                     uint64_t End) {
+  LaunchState *L = find(Id);
+  if (!L)
+    return;
+  if (Begin >= End || End > L->Total || End != L->CpuLow) {
+    reportLaunch(
+        DiagKind::CpuRangeViolation, *L,
+        formatString("CPU subkernel [%llu, %llu) does not extend the "
+                     "descending partition contiguously (next end must be "
+                     "%llu of %llu)",
+                     (unsigned long long)Begin, (unsigned long long)End,
+                     (unsigned long long)L->CpuLow,
+                     (unsigned long long)L->Total));
+    return;
+  }
+  L->CpuLow = Begin;
+}
+
+void ProtocolChecker::onDataStaged(uint64_t Id, size_t OutSlot,
+                                   uint64_t CoveredFrom) {
+  LaunchState *L = find(Id);
+  if (!L || OutSlot >= L->DataCoveredFrom.size())
+    return;
+  if (CoveredFrom < L->DataCoveredFrom[OutSlot])
+    L->DataCoveredFrom[OutSlot] = CoveredFrom;
+}
+
+void ProtocolChecker::onStatusCommit(uint64_t Id, uint64_t Boundary) {
+  LaunchState *L = find(Id);
+  if (!L)
+    return;
+  if (Boundary > L->LastBoundary)
+    reportLaunch(
+        DiagKind::BoundaryNotMonotone, *L,
+        formatString("status boundary rose from %llu to %llu; the "
+                     "GPU-visible boundary must be non-increasing",
+                     (unsigned long long)L->LastBoundary,
+                     (unsigned long long)Boundary));
+  if (Boundary < L->CpuLow)
+    reportLaunch(
+        DiagKind::CpuCoverageGap, *L,
+        formatString("status claims CPU completion down to group %llu but "
+                     "the CPU only executed down to %llu",
+                     (unsigned long long)Boundary,
+                     (unsigned long long)L->CpuLow));
+  for (size_t S = 0; S < L->DataCoveredFrom.size(); ++S)
+    if (L->DataCoveredFrom[S] > Boundary)
+      reportLaunch(
+          DiagKind::StatusBeforeData, *L,
+          formatString("status committed boundary %llu but out buffer %zu "
+                       "data is only staged from group %llu; data must "
+                       "travel before status",
+                       (unsigned long long)Boundary, S,
+                       (unsigned long long)L->DataCoveredFrom[S]));
+  if (Boundary < L->LastBoundary)
+    L->LastBoundary = Boundary;
+}
+
+void ProtocolChecker::onGpuFinished(uint64_t Id, uint64_t ExecutedGroups) {
+  LaunchState *L = find(Id);
+  if (!L)
+    return;
+  L->GpuFinished = true;
+  L->GpuExecuted = ExecutedGroups;
+  if (ExecutedGroups > L->Total)
+    reportLaunch(DiagKind::GpuCoverageGap, *L,
+                 formatString("GPU reports %llu executed groups of %llu",
+                              (unsigned long long)ExecutedGroups,
+                              (unsigned long long)L->Total));
+}
+
+void ProtocolChecker::onMergeSet(uint64_t Id, uint64_t Boundary,
+                                 bool CpuRanAll, bool AnyCpuData) {
+  LaunchState *L = find(Id);
+  if (!L)
+    return;
+  L->MergeSetFixed = true;
+  L->CpuRanAll = CpuRanAll;
+  L->ExpectMerges =
+      AnyCpuData && L->Cooperative && L->NumOuts > 0;
+  if (!L->Cooperative || CpuRanAll)
+    return; // When the CPU owns everything the boundary is moot.
+  if (L->GpuExecuted < Boundary)
+    reportLaunch(
+        DiagKind::GpuCoverageGap, *L,
+        formatString("merge set credits the GPU with [0, %llu) but it only "
+                     "executed %llu groups",
+                     (unsigned long long)Boundary,
+                     (unsigned long long)L->GpuExecuted));
+  if (Boundary < L->CpuLow)
+    reportLaunch(
+        DiagKind::CpuCoverageGap, *L,
+        formatString("merge set credits the CPU with [%llu, %llu) but it "
+                     "only executed down to group %llu",
+                     (unsigned long long)Boundary,
+                     (unsigned long long)L->Total,
+                     (unsigned long long)L->CpuLow));
+  if (Boundary != L->LastBoundary)
+    reportLaunch(
+        DiagKind::MergeBoundaryMismatch, *L,
+        formatString("merge set boundary %llu disagrees with the last "
+                     "committed status boundary %llu",
+                     (unsigned long long)Boundary,
+                     (unsigned long long)L->LastBoundary));
+}
+
+void ProtocolChecker::onMergeEnqueued(uint64_t Id, size_t OutSlot) {
+  LaunchState *L = find(Id);
+  if (!L || OutSlot >= L->MergeCount.size())
+    return;
+  if (++L->MergeCount[OutSlot] > 1)
+    reportLaunch(DiagKind::DoubleMerge, *L,
+                 formatString("out buffer %zu merged %llu times; CPU data "
+                              "must be applied exactly once",
+                              OutSlot,
+                              (unsigned long long)L->MergeCount[OutSlot]));
+  else if (!L->ExpectMerges)
+    reportLaunch(DiagKind::UnexpectedMerge, *L,
+                 formatString("merge enqueued for out buffer %zu although "
+                              "the CPU contributed no data",
+                              OutSlot));
+}
+
+void ProtocolChecker::onScratchReleased(uint64_t Id, size_t Count) {
+  LaunchState *L = find(Id);
+  if (!L)
+    return;
+  // KernelExec acquires two scratch buffers (orig + cpu-data) per out
+  // buffer of a cooperative launch; they must all come back in one batch.
+  if (L->Cooperative && Count != 2 * L->NumOuts)
+    reportLaunch(DiagKind::ScratchLeak, *L,
+                 formatString("released %zu pooled scratch buffers, "
+                              "expected %zu (2 per out buffer)",
+                              Count, 2 * L->NumOuts));
+}
+
+void ProtocolChecker::onVersionNote(uint32_t Buf, uint64_t Expected,
+                                    uint64_t CpuVersion) {
+  auto [It, Inserted] = Versions.try_emplace(Buf, Expected, CpuVersion);
+  auto &[LastExpected, LastCpu] = It->second;
+  if (!Inserted && (Expected < LastExpected || CpuVersion < LastCpu))
+    Sink.report(Diag::make(
+        DiagKind::VersionRegression, "",
+        formatString("buffer %u version moved backwards: expected %llu -> "
+                     "%llu, cpu %llu -> %llu",
+                     Buf, (unsigned long long)LastExpected,
+                     (unsigned long long)Expected,
+                     (unsigned long long)LastCpu,
+                     (unsigned long long)CpuVersion)));
+  if (CpuVersion > Expected)
+    Sink.report(Diag::make(
+        DiagKind::VersionRegression, "",
+        formatString("buffer %u CPU copy claims version %llu newer than "
+                     "the expected version %llu",
+                     Buf, (unsigned long long)CpuVersion,
+                     (unsigned long long)Expected)));
+  LastExpected = Expected;
+  LastCpu = CpuVersion;
+}
+
+void ProtocolChecker::onRunFinish(size_t PoolInUse) {
+  for (auto &[Id, L] : Launches) {
+    (void)Id;
+    if (L.Finalized)
+      continue;
+    L.Finalized = true;
+    if (!L.ExpectMerges)
+      continue;
+    for (size_t S = 0; S < L.MergeCount.size(); ++S)
+      if (L.MergeCount[S] == 0)
+        reportLaunch(
+            DiagKind::MergeMissing, L,
+            formatString("out buffer %zu was never merged although the CPU "
+                         "contributed data below boundary %llu",
+                         S, (unsigned long long)L.LastBoundary));
+  }
+  if (PoolInUse > 0)
+    Sink.report(Diag::make(
+        DiagKind::ScratchLeak, "",
+        formatString("%zu pooled buffers still checked out after the run "
+                     "drained",
+                     PoolInUse)));
+}

@@ -1,0 +1,116 @@
+//===- check/ProtocolChecker.h - Cooperative-protocol invariants -*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime invariant assertions for the FluidiCL cooperative protocol. The
+/// fluidicl runtime calls the on*() hooks at each protocol step of every
+/// launch; the checker shadows the partition/merge bookkeeping and reports
+/// violations of the rules that keep the diff/merge sound:
+///
+///  * CPU subkernel ranges descend contiguously from the top of the NDRange
+///    and never re-execute a work-group (disjoint CPU/GPU partitions).
+///  * Every status commit's boundary is non-increasing, and the CPU data
+///    covering [boundary, total) was staged on the hd queue before the
+///    status was committed ("data travels before status", section 4.2).
+///  * The merge set fixed when the GPU exits credits the GPU only with
+///    work-groups it executed and the CPU only with work-groups whose
+///    completion was committed; each out buffer is merged exactly once.
+///  * VersionTracker versions move monotonically and the CPU copy never
+///    claims a version newer than the expected one.
+///  * All pooled scratch buffers return to the BufferPool by run end.
+///
+/// Hooks are designed to be called from completion callbacks on the
+/// simulated clock; per-launch state is keyed by kernel id, so trailing
+/// events of a finished launch interleaving with the next launch are fine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CHECK_PROTOCOLCHECKER_H
+#define FCL_CHECK_PROTOCOLCHECKER_H
+
+#include "check/Diag.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace check {
+
+/// Shadow-verifies the cooperative execution protocol. One instance per
+/// fluidicl::Runtime; diagnostics go to the shared DiagSink.
+class ProtocolChecker {
+public:
+  explicit ProtocolChecker(DiagSink &Sink) : Sink(Sink) {}
+
+  /// A kernel launch began. \p NumOuts is the number of written (merged)
+  /// buffers; \p Cooperative is false for GPU-only fallbacks.
+  void onLaunchStart(uint64_t Id, const std::string &Name,
+                     uint64_t TotalGroups, size_t NumOuts, bool Cooperative);
+
+  /// A CPU subkernel covering flat work-groups [Begin, End) completed.
+  void onCpuSubkernel(uint64_t Id, uint64_t Begin, uint64_t End);
+
+  /// CPU data covering flat work-groups [CoveredFrom, total) for out buffer
+  /// \p OutSlot was staged on the hd queue (ahead of the next status).
+  void onDataStaged(uint64_t Id, size_t OutSlot, uint64_t CoveredFrom);
+
+  /// A status message carrying \p Boundary completed on the hd queue.
+  void onStatusCommit(uint64_t Id, uint64_t Boundary);
+
+  /// The GPU kernel exited having executed \p ExecutedGroups work-groups.
+  void onGpuFinished(uint64_t Id, uint64_t ExecutedGroups);
+
+  /// The merge set was fixed: the GPU keeps [0, Boundary), the CPU provides
+  /// [Boundary, total). \p AnyCpuData is false when no merge will run.
+  void onMergeSet(uint64_t Id, uint64_t Boundary, bool CpuRanAll,
+                  bool AnyCpuData);
+
+  /// A merge kernel for out buffer \p OutSlot was enqueued.
+  void onMergeEnqueued(uint64_t Id, size_t OutSlot);
+
+  /// \p Count pooled scratch buffers of this launch were released.
+  void onScratchReleased(uint64_t Id, size_t Count);
+
+  /// A VersionTracker mutation left buffer \p Buf at (Expected, CpuVersion).
+  void onVersionNote(uint32_t Buf, uint64_t Expected, uint64_t CpuVersion);
+
+  /// End of run (Runtime::finish after draining): per-launch merge/scratch
+  /// completeness plus the pool-leak check. Idempotent.
+  void onRunFinish(size_t PoolInUse);
+
+private:
+  struct LaunchState {
+    std::string Name;
+    uint64_t Total = 0;
+    size_t NumOuts = 0;
+    bool Cooperative = false;
+    uint64_t CpuLow = 0;       // Lowest flat ID the CPU has executed.
+    uint64_t LastBoundary = 0; // Last committed GPU-visible boundary.
+    uint64_t GpuExecuted = 0;
+    bool GpuFinished = false;
+    bool MergeSetFixed = false;
+    bool ExpectMerges = false;
+    bool CpuRanAll = false;
+    std::vector<uint64_t> DataCoveredFrom; // Per out slot.
+    std::vector<uint64_t> MergeCount;      // Per out slot.
+    bool Finalized = false;
+  };
+
+  LaunchState *find(uint64_t Id);
+  void reportLaunch(DiagKind Kind, const LaunchState &L, std::string Message);
+
+  DiagSink &Sink;
+  std::map<uint64_t, LaunchState> Launches;
+  // Per-buffer shadow of the VersionTracker: (expected, cpu version).
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> Versions;
+};
+
+} // namespace check
+} // namespace fcl
+
+#endif // FCL_CHECK_PROTOCOLCHECKER_H

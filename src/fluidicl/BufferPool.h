@@ -50,6 +50,9 @@ public:
   /// Total bytes of buffers the pool had to create (each miss's size).
   uint64_t bytesCreated() const { return BytesCreated; }
   size_t freeCount() const { return Free.size(); }
+  /// Buffers handed out by acquire() and not yet released (0 after a clean
+  /// run; the ProtocolChecker flags anything else as a scratch leak).
+  size_t inUseCount() const { return InUse.size(); }
 
 private:
   struct Entry {

@@ -77,13 +77,18 @@ void KernelExec::run() {
     }
   }
 
-  for (OutBinding &O : Outs)
+  for (OutBinding &O : Outs) {
     RT.Versions.noteKernelWillWrite(O.BufId, KernelId);
+    RT.noteVersion(O.BufId);
+  }
 
   // Kernels with atomic primitives cannot be split across devices (paper
   // section 7): fall back to GPU-only execution for this launch.
   CooperativeAllowed = RT.Opts.UseCpu && !Kernel.UsesAtomics;
   Stats.AtomicsFallback = RT.Opts.UseCpu && Kernel.UsesAtomics;
+  if (check::ProtocolChecker *PC = RT.protocolChecker())
+    PC->onLaunchStart(KernelId, Kernel.Name, TotalGroups, Outs.size(),
+                      CooperativeAllowed);
 
   // Region-transfer extension: only when the kernel's output bands are
   // row-contiguous and every out buffer divides evenly into bands.
@@ -150,6 +155,8 @@ void KernelExec::launchGpuKernel() {
 
 void KernelExec::gpuFinished(uint64_t ExecutedGroups) {
   GpuDone = true;
+  if (check::ProtocolChecker *PC = RT.protocolChecker())
+    PC->onGpuFinished(KernelId, ExecutedGroups);
   Stats.GpuGroupsExecuted = ExecutedGroups;
   // Everything the GPU did not execute it aborted after observing CPU
   // completion (only possible in cooperative launches; 0 otherwise).
@@ -181,6 +188,10 @@ void KernelExec::enqueueMerges() {
     Stats.CpuGroupsWasted += Boundary - CpuLow;
   }
   bool AnyCpuData = *GpuVisibleBoundary < TotalGroups;
+  if (check::ProtocolChecker *PC = RT.protocolChecker())
+    PC->onMergeSet(KernelId,
+                   CooperativeAllowed ? *GpuVisibleBoundary : TotalGroups,
+                   CpuRanAll, AnyCpuData && !Outs.empty());
   if (!AnyCpuData || Outs.empty() || !CooperativeAllowed) {
     mergesDone();
     return;
@@ -204,7 +215,10 @@ void KernelExec::enqueueMerges() {
         static_cast<uint64_t>(CpuShare * static_cast<double>(O.B->Size));
   }
   auto Self = shared_from_this();
-  for (OutBinding &O : Outs) {
+  for (size_t Slot = 0; Slot < Outs.size(); ++Slot) {
+    OutBinding &O = Outs[Slot];
+    if (check::ProtocolChecker *PC = RT.protocolChecker())
+      PC->onMergeEnqueued(KernelId, Slot);
     uint64_t Items =
         (O.B->Size + kern::MergeChunkBytes - 1) / kern::MergeChunkBytes;
     uint64_t Local = 64;
@@ -297,6 +311,8 @@ void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
                                const kern::KernelInfo *Used,
                                TimePoint StartedAtTime) {
   Duration Took = RT.Ctx.now() - StartedAtTime;
+  if (check::ProtocolChecker *PC = RT.protocolChecker())
+    PC->onCpuSubkernel(KernelId, Begin, End);
   uint64_t Groups = End - Begin;
   ++Stats.CpuSubkernels;
   Stats.CpuGroupsExecuted += Groups;
@@ -329,8 +345,10 @@ void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
     // data+status stream still runs so the GPU becomes current for
     // subsequent kernels via its merge.
     CpuRanAll = true;
-    for (OutBinding &O : Outs)
+    for (OutBinding &O : Outs) {
       RT.Versions.noteCpuReceived(O.BufId, KernelId);
+      RT.noteVersion(O.BufId);
+    }
   }
 
   // Section 5.5: copy the out buffers on the host first, so subsequent
@@ -364,7 +382,8 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
   FCL_LOG_DEBUG("fcl kernel %llu: sending cpu data, boundary %llu",
                 static_cast<unsigned long long>(KernelId),
                 static_cast<unsigned long long>(Boundary));
-  for (OutBinding &O : Outs) {
+  for (size_t Slot = 0; Slot < Outs.size(); ++Slot) {
+    OutBinding &O = Outs[Slot];
     // Captures the CPU buffer contents now (the staging copy), then
     // streams them to the GPU-side cpu-data buffer on the in-order hd
     // queue. Region transfers send only this subkernel's output band.
@@ -374,6 +393,16 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
         O.B->CpuBuf->backed() ? O.B->CpuBuf->data() + Offset : nullptr;
     RT.HdQueue->enqueueWrite(*O.CpuData, Src, Bytes, Offset);
     Stats.HdBytesSent += Bytes;
+    if (check::ProtocolChecker *PC = RT.protocolChecker()) {
+      // Whole-buffer sends cover every CPU-computed group [Boundary,
+      // total); region sends cover the band rounded down to row starts.
+      uint64_t CoveredFrom = Boundary;
+      if (UseRegionTransfers) {
+        uint64_t RowLen = Range.dims() == 1 ? 1 : Range.numGroups().X;
+        CoveredFrom = Begin / RowLen * RowLen;
+      }
+      PC->onDataStaged(KernelId, Slot, CoveredFrom);
+    }
   }
   // The status message follows the data on the same in-order queue, so the
   // GPU observes the new boundary only after the data has arrived
@@ -384,6 +413,8 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
   std::shared_ptr<uint64_t> BoundaryWord = GpuVisibleBoundary;
   auto Self = shared_from_this();
   StatusDone->onComplete([Self, BoundaryWord, Boundary, StatusDone] {
+    if (check::ProtocolChecker *PC = Self->RT.protocolChecker())
+      PC->onStatusCommit(Self->KernelId, Boundary);
     if (Boundary < *BoundaryWord)
       *BoundaryWord = Boundary;
     if (Self->LastHdEvent == StatusDone) {
@@ -444,6 +475,7 @@ void KernelExec::startDhStage() {
           if (Staging && B->CpuBuf->backed())
             std::memcpy(B->CpuBuf->data(), Staging->data(), B->Size);
           Self->RT.Versions.noteCpuReceived(BufId, Self->KernelId);
+          Self->RT.noteVersion(BufId);
         }
         Applied->fire();
       });
@@ -455,14 +487,21 @@ void KernelExec::releaseScratch() {
   if (ScratchReleased || !HdDrained || !MergePhaseStarted)
     return;
   ScratchReleased = true;
+  size_t Released = 0;
   for (OutBinding &O : Outs) {
-    if (O.Orig)
+    if (O.Orig) {
       RT.Pool.release(O.Orig);
-    if (O.CpuData)
+      ++Released;
+    }
+    if (O.CpuData) {
       RT.Pool.release(O.CpuData);
+      ++Released;
+    }
     O.Orig = nullptr;
     O.CpuData = nullptr;
   }
+  if (check::ProtocolChecker *PC = RT.protocolChecker())
+    PC->onScratchReleased(KernelId, Released);
   RT.Pool.endKernelReclaim();
 }
 

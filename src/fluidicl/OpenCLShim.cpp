@@ -6,10 +6,12 @@
 
 #include "fluidicl/OpenCLShim.h"
 
+#include "check/Diag.h"
 #include "kern/Registry.h"
 #include "support/Error.h"
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 using namespace fcl;
@@ -24,6 +26,7 @@ struct FclMemRec {
   FclContextRec *Ctx = nullptr;
   runtime::BufferId Id = 0;
   uint64_t Size = 0;
+  bool Released = false;
 };
 
 struct FclKernelRec {
@@ -31,17 +34,83 @@ struct FclKernelRec {
   const kern::KernelInfo *Info = nullptr;
   std::vector<runtime::KArg> Args;
   std::vector<bool> ArgSet;
+  /// Buffer records bound per argument slot (null for scalars), so the
+  /// lint layer can detect a mem object released between clSetKernelArg
+  /// and clEnqueueNDRangeKernel.
+  std::vector<FclMemRec *> BoundMems;
+  bool Released = false;
+};
+
+struct FclQueueRec {
+  FclContextRec *Ctx = nullptr;
+  bool Released = false;
 };
 
 struct FclContextRec {
   Runtime *RT = nullptr;
   std::vector<std::unique_ptr<FclMemRec>> Mems;
   std::vector<std::unique_ptr<FclKernelRec>> Kernels;
+  std::vector<std::unique_ptr<FclQueueRec>> Queues;
 };
 
 } // namespace shim
 } // namespace fluidicl
 } // namespace fcl
+
+namespace {
+
+// ShimLint helpers: report host-API misuse through the runtime's diagnostic
+// sink. All of them are no-ops when Options::Check is Off (the sink drops
+// diagnostics), so unarmed programs see the classic shim behavior.
+
+void lint(FclContextRec *Ctx, check::DiagKind Kind, const std::string &Where,
+          const std::string &Message, int ArgIndex = -1) {
+  if (!Ctx || !Ctx->RT)
+    return;
+  check::DiagSink &Sink = Ctx->RT->diagSink();
+  if (!Sink.enabled())
+    return;
+  Sink.report(check::Diag::make(Kind, Where, Message, ArgIndex));
+}
+
+/// Lints and rejects use of a released queue. Returns false when invalid.
+bool checkQueue(fcl_command_queue Queue, const char *Api) {
+  if (!Queue)
+    return false;
+  if (Queue->Released) {
+    lint(Queue->Ctx, check::DiagKind::UseAfterRelease, Api,
+         "command queue used after fclReleaseCommandQueue");
+    return false;
+  }
+  return true;
+}
+
+/// Lints and rejects use of a released mem object. Returns false when
+/// invalid.
+bool checkMem(fcl_mem Buf, const char *Api) {
+  if (!Buf)
+    return false;
+  if (Buf->Released) {
+    lint(Buf->Ctx, check::DiagKind::UseAfterRelease, Api,
+         "mem object used after fclReleaseMemObject");
+    return false;
+  }
+  return true;
+}
+
+/// Lints and rejects use of a released kernel. Returns false when invalid.
+bool checkKernel(fcl_kernel Kernel, const char *Api) {
+  if (!Kernel)
+    return false;
+  if (Kernel->Released) {
+    lint(Kernel->Ctx, check::DiagKind::UseAfterRelease, Api,
+         "kernel used after fclReleaseKernel");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
 
 fcl_context fcl::fluidicl::shim::fclCreateContext(Runtime &RT) {
   auto *Ctx = new FclContextRec();
@@ -49,10 +118,70 @@ fcl_context fcl::fluidicl::shim::fclCreateContext(Runtime &RT) {
   return Ctx;
 }
 
-void fcl::fluidicl::shim::fclReleaseContext(fcl_context Ctx) { delete Ctx; }
+void fcl::fluidicl::shim::fclReleaseContext(fcl_context Ctx) {
+  if (!Ctx)
+    return;
+  // clReleaseContext on a context with live child objects leaks them in a
+  // real OpenCL program (the context holds a reference until every child
+  // is released).
+  size_t LiveMems = 0, LiveKernels = 0, LiveQueues = 0;
+  for (const auto &M : Ctx->Mems)
+    LiveMems += M->Released ? 0 : 1;
+  for (const auto &K : Ctx->Kernels)
+    LiveKernels += K->Released ? 0 : 1;
+  for (const auto &Q : Ctx->Queues)
+    LiveQueues += Q->Released ? 0 : 1;
+  if (LiveMems + LiveKernels + LiveQueues > 0)
+    lint(Ctx, check::DiagKind::LeakedObjects, "fclReleaseContext",
+         "context released with " + std::to_string(LiveMems) + " mem, " +
+             std::to_string(LiveKernels) + " kernel, " +
+             std::to_string(LiveQueues) + " queue object(s) still alive");
+  delete Ctx;
+}
 
 fcl_command_queue fcl::fluidicl::shim::fclCreateCommandQueue(fcl_context Ctx) {
-  return Ctx;
+  if (!Ctx)
+    return nullptr;
+  auto Queue = std::make_unique<FclQueueRec>();
+  Queue->Ctx = Ctx;
+  Ctx->Queues.push_back(std::move(Queue));
+  return Ctx->Queues.back().get();
+}
+
+fcl_int fcl::fluidicl::shim::fclReleaseCommandQueue(fcl_command_queue Queue) {
+  if (!Queue)
+    return FCL_INVALID_COMMAND_QUEUE;
+  if (Queue->Released) {
+    lint(Queue->Ctx, check::DiagKind::DoubleRelease, "fclReleaseCommandQueue",
+         "command queue released twice");
+    return FCL_INVALID_COMMAND_QUEUE;
+  }
+  Queue->Released = true;
+  return FCL_SUCCESS;
+}
+
+fcl_int fcl::fluidicl::shim::fclReleaseMemObject(fcl_mem Buf) {
+  if (!Buf)
+    return FCL_INVALID_MEM_OBJECT;
+  if (Buf->Released) {
+    lint(Buf->Ctx, check::DiagKind::DoubleRelease, "fclReleaseMemObject",
+         "mem object released twice");
+    return FCL_INVALID_MEM_OBJECT;
+  }
+  Buf->Released = true;
+  return FCL_SUCCESS;
+}
+
+fcl_int fcl::fluidicl::shim::fclReleaseKernel(fcl_kernel Kernel) {
+  if (!Kernel)
+    return FCL_INVALID_KERNEL;
+  if (Kernel->Released) {
+    lint(Kernel->Ctx, check::DiagKind::DoubleRelease, "fclReleaseKernel",
+         "kernel released twice");
+    return FCL_INVALID_KERNEL;
+  }
+  Kernel->Released = true;
+  return FCL_SUCCESS;
 }
 
 fcl_mem fcl::fluidicl::shim::fclCreateBuffer(fcl_context Ctx,
@@ -81,25 +210,38 @@ fcl_int fcl::fluidicl::shim::fclEnqueueWriteBuffer(fcl_command_queue Queue,
                                                    fcl_bool /*Blocking*/,
                                                    size_t Offset, size_t Size,
                                                    const void *Ptr) {
-  if (!Queue || !Buf)
+  if (!Buf)
+    return FCL_INVALID_MEM_OBJECT;
+  if (!checkQueue(Queue, "fclEnqueueWriteBuffer"))
+    return FCL_INVALID_COMMAND_QUEUE;
+  if (!checkMem(Buf, "fclEnqueueWriteBuffer"))
     return FCL_INVALID_MEM_OBJECT;
   // The paper's subset writes whole buffers from offset 0.
   if (Offset != 0 || Offset + Size > Buf->Size)
     return FCL_INVALID_VALUE;
-  Queue->RT->writeBuffer(Buf->Id, Ptr, Size);
+  Queue->Ctx->RT->writeBuffer(Buf->Id, Ptr, Size);
   return FCL_SUCCESS;
 }
 
 fcl_int fcl::fluidicl::shim::fclEnqueueReadBuffer(fcl_command_queue Queue,
                                                   fcl_mem Buf,
-                                                  fcl_bool /*Blocking*/,
+                                                  fcl_bool Blocking,
                                                   size_t Offset, size_t Size,
                                                   void *Ptr) {
-  if (!Queue || !Buf)
+  if (!Buf)
+    return FCL_INVALID_MEM_OBJECT;
+  if (!checkQueue(Queue, "fclEnqueueReadBuffer"))
+    return FCL_INVALID_COMMAND_QUEUE;
+  if (!checkMem(Buf, "fclEnqueueReadBuffer"))
     return FCL_INVALID_MEM_OBJECT;
   if (Offset != 0 || Offset + Size > Buf->Size)
     return FCL_INVALID_VALUE;
-  Queue->RT->readBuffer(Buf->Id, Ptr, Size);
+  if (Blocking == FCL_FALSE)
+    lint(Queue->Ctx, check::DiagKind::NonBlockingReadAssumed,
+         "fclEnqueueReadBuffer",
+         "non-blocking read executed as blocking; the host must not touch "
+         "the destination before the read event completes");
+  Queue->Ctx->RT->readBuffer(Buf->Id, Ptr, Size);
   return FCL_SUCCESS;
 }
 
@@ -122,6 +264,7 @@ fcl_kernel fcl::fluidicl::shim::fclCreateKernel(fcl_context Ctx,
   Kernel->Info = Info;
   Kernel->Args.resize(Info->Args.size());
   Kernel->ArgSet.assign(Info->Args.size(), false);
+  Kernel->BoundMems.assign(Info->Args.size(), nullptr);
   if (Err)
     *Err = FCL_SUCCESS;
   Ctx->Kernels.push_back(std::move(Kernel));
@@ -133,10 +276,13 @@ fcl_int fcl::fluidicl::shim::fclSetKernelArg(fcl_kernel Kernel,
                                              const void *Value) {
   if (!Kernel || !Value)
     return FCL_INVALID_VALUE;
+  if (!checkKernel(Kernel, "fclSetKernelArg"))
+    return FCL_INVALID_KERNEL;
   if (Index >= Kernel->Info->Args.size())
     return FCL_INVALID_VALUE;
   kern::ArgAccess Access = Kernel->Info->Args[Index];
   runtime::KArg Arg;
+  FclMemRec *Bound = nullptr;
   if (Access == kern::ArgAccess::Scalar) {
     // As in OpenCL, scalars arrive as raw bytes; FluidiCL kernels read the
     // integer or floating interpretation per their declared signature, so
@@ -165,10 +311,14 @@ fcl_int fcl::fluidicl::shim::fclSetKernelArg(fcl_kernel Kernel,
     std::memcpy(&Mem, Value, sizeof(fcl_mem));
     if (!Mem || Mem->Ctx != Kernel->Ctx)
       return FCL_INVALID_MEM_OBJECT;
+    if (!checkMem(Mem, "fclSetKernelArg"))
+      return FCL_INVALID_MEM_OBJECT;
     Arg = runtime::KArg::buffer(Mem->Id);
+    Bound = Mem;
   }
   Kernel->Args[Index] = Arg;
   Kernel->ArgSet[Index] = true;
+  Kernel->BoundMems[Index] = Bound;
   return FCL_SUCCESS;
 }
 
@@ -178,6 +328,10 @@ fcl_int fcl::fluidicl::shim::fclEnqueueNDRangeKernel(
     const size_t *LocalWorkSize) {
   if (!Queue || !Kernel)
     return FCL_INVALID_VALUE;
+  if (!checkQueue(Queue, "fclEnqueueNDRangeKernel"))
+    return FCL_INVALID_COMMAND_QUEUE;
+  if (!checkKernel(Kernel, "fclEnqueueNDRangeKernel"))
+    return FCL_INVALID_KERNEL;
   if (WorkDim < 1 || WorkDim > 3)
     return FCL_INVALID_WORK_DIMENSION;
   if (GlobalWorkOffset != nullptr)
@@ -185,8 +339,22 @@ fcl_int fcl::fluidicl::shim::fclEnqueueNDRangeKernel(
   if (!GlobalWorkSize || !LocalWorkSize)
     return FCL_INVALID_VALUE;
   for (size_t I = 0; I < Kernel->ArgSet.size(); ++I)
-    if (!Kernel->ArgSet[I])
+    if (!Kernel->ArgSet[I]) {
+      lint(Kernel->Ctx, check::DiagKind::UnsetKernelArgs,
+           Kernel->Info->Name,
+           "launch with argument " + std::to_string(I) + " never set",
+           static_cast<int>(I));
       return FCL_INVALID_KERNEL_ARGS;
+    }
+  for (size_t I = 0; I < Kernel->BoundMems.size(); ++I)
+    if (Kernel->BoundMems[I] && Kernel->BoundMems[I]->Released) {
+      lint(Kernel->Ctx, check::DiagKind::UseAfterRelease,
+           Kernel->Info->Name,
+           "launch with argument " + std::to_string(I) +
+               " bound to a released mem object",
+           static_cast<int>(I));
+      return FCL_INVALID_MEM_OBJECT;
+    }
 
   kern::NDRange Range;
   if (WorkDim == 1)
@@ -198,13 +366,15 @@ fcl_int fcl::fluidicl::shim::fclEnqueueNDRangeKernel(
     Range = kern::NDRange::of3D(GlobalWorkSize[0], GlobalWorkSize[1],
                                 GlobalWorkSize[2], LocalWorkSize[0],
                                 LocalWorkSize[1], LocalWorkSize[2]);
-  Queue->RT->launchKernel(Kernel->Info->Name, Range, Kernel->Args);
+  Queue->Ctx->RT->launchKernel(Kernel->Info->Name, Range, Kernel->Args);
   return FCL_SUCCESS;
 }
 
 fcl_int fcl::fluidicl::shim::fclFinish(fcl_command_queue Queue) {
   if (!Queue)
     return FCL_INVALID_VALUE;
-  Queue->RT->finish();
+  if (!checkQueue(Queue, "fclFinish"))
+    return FCL_INVALID_COMMAND_QUEUE;
+  Queue->Ctx->RT->finish();
   return FCL_SUCCESS;
 }

@@ -20,6 +20,14 @@
 ///   clEnqueueNDRangeKernel(q, k, dim, 0, gws, lws, 0, 0, 0)
 ///       -> fclEnqueueNDRangeKernel(...)
 ///
+/// ShimLint: modeled on the OpenCL validation layers, every entry point
+/// also diagnoses host-API misuse — use-after-release, double release,
+/// launches with unset kernel arguments, non-blocking reads whose result
+/// the shim's blocking semantics would hide — through the owning runtime's
+/// check::DiagSink (armed by fluidicl::Options::Check). Released objects
+/// are quarantined rather than freed until the context goes away, so
+/// use-after-release is detected instead of crashing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FCL_FLUIDICL_OPENCLSHIM_H
@@ -44,8 +52,10 @@ using fcl_bool = uint32_t;
 // Error codes (the OpenCL values for the common cases).
 inline constexpr fcl_int FCL_SUCCESS = 0;
 inline constexpr fcl_int FCL_INVALID_VALUE = -30;
+inline constexpr fcl_int FCL_INVALID_COMMAND_QUEUE = -36;
 inline constexpr fcl_int FCL_INVALID_MEM_OBJECT = -38;
 inline constexpr fcl_int FCL_INVALID_KERNEL_NAME = -46;
+inline constexpr fcl_int FCL_INVALID_KERNEL = -48;
 inline constexpr fcl_int FCL_INVALID_KERNEL_ARGS = -52;
 inline constexpr fcl_int FCL_INVALID_WORK_DIMENSION = -53;
 
@@ -61,12 +71,15 @@ inline constexpr fcl_mem_flags FCL_MEM_WRITE_ONLY = 1 << 1;
 struct FclContextRec;
 struct FclMemRec;
 struct FclKernelRec;
+struct FclQueueRec;
 using fcl_context = FclContextRec *;
 using fcl_mem = FclMemRec *;
 using fcl_kernel = FclKernelRec *;
 /// FluidiCL owns a single in-order conceptual queue per context; the
-/// command-queue argument exists only for signature compatibility.
-using fcl_command_queue = fcl_context;
+/// command-queue handle exists for signature compatibility, but is a
+/// distinct object so the lint layer can diagnose enqueues on released
+/// queues.
+using fcl_command_queue = FclQueueRec *;
 
 /// Creates a FluidiCL "context" bound to \p RT (which the caller owns and
 /// must keep alive). The analogue of clCreateContext + clBuildProgram:
@@ -77,9 +90,21 @@ fcl_context fclCreateContext(Runtime &RT);
 /// Releases the context and every object created from it.
 void fclReleaseContext(fcl_context Ctx);
 
-/// clCreateCommandQueue analogue (returns the context; FluidiCL's own hd,
-/// dh and device queues are internal, paper section 5.4).
+/// clCreateCommandQueue analogue (FluidiCL's own hd, dh and device queues
+/// are internal, paper section 5.4; every shim queue maps to the same
+/// conceptual in-order queue).
 fcl_command_queue fclCreateCommandQueue(fcl_context Ctx);
+
+/// clReleaseCommandQueue analogue. The record is quarantined (not freed)
+/// so later enqueues are diagnosed as use-after-release.
+fcl_int fclReleaseCommandQueue(fcl_command_queue Queue);
+
+/// clReleaseMemObject analogue (quarantines the record; the underlying
+/// runtime buffer lives until the runtime is destroyed).
+fcl_int fclReleaseMemObject(fcl_mem Buf);
+
+/// clReleaseKernel analogue (quarantines the record).
+fcl_int fclReleaseKernel(fcl_kernel Kernel);
 
 /// clCreateBuffer analogue.
 fcl_mem fclCreateBuffer(fcl_context Ctx, fcl_mem_flags Flags, size_t Size,
@@ -91,7 +116,9 @@ fcl_int fclEnqueueWriteBuffer(fcl_command_queue Queue, fcl_mem Buf,
                               fcl_bool Blocking, size_t Offset, size_t Size,
                               const void *Ptr);
 
-/// clEnqueueReadBuffer analogue (blocking).
+/// clEnqueueReadBuffer analogue. Always executed blocking; requesting a
+/// non-blocking read is linted (NonBlockingReadAssumed), because a real
+/// OpenCL host must not touch \p Ptr before the read's event completes.
 fcl_int fclEnqueueReadBuffer(fcl_command_queue Queue, fcl_mem Buf,
                              fcl_bool Blocking, size_t Offset, size_t Size,
                              void *Ptr);

@@ -16,6 +16,7 @@
 #ifndef FCL_FLUIDICL_OPTIONS_H
 #define FCL_FLUIDICL_OPTIONS_H
 
+#include "check/Diag.h"
 #include "hw/CostModel.h"
 
 namespace fcl {
@@ -54,6 +55,10 @@ struct Options {
   /// stage and transfer only each subkernel's band instead of the whole
   /// out buffer. Off by default (the paper transfers whole buffers).
   bool RegionTransfers = false;
+  /// fcl::check integration: Off disables all checking; Warn/Fail arm the
+  /// DiagSink, ProtocolChecker and ShimLint (Fail additionally makes tools
+  /// exit non-zero on error diagnostics).
+  check::Policy Check = check::Policy::Off;
 };
 
 } // namespace fluidicl

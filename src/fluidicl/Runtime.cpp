@@ -10,6 +10,7 @@
 #include "kern/Registry.h"
 #include "support/Error.h"
 #include "support/Log.h"
+#include "trace/Tracer.h"
 
 #include <cstring>
 
@@ -17,13 +18,24 @@ using namespace fcl;
 using namespace fcl::fluidicl;
 
 Runtime::Runtime(mcl::Context &Ctx, Options Opts)
-    : HeteroRuntime(Ctx), Opts(Opts),
+    : HeteroRuntime(Ctx), Opts(Opts), Diags(Opts.Check),
       GpuAppQueue(Ctx.createQueue(Ctx.gpu(), "fcl-gpu-app")),
       CpuQueue(Ctx.createQueue(Ctx.cpu(), "fcl-cpu")),
       HdQueue(Ctx.createQueue(Ctx.gpu(), "fcl-hd")),
       DhQueue(Ctx.createQueue(Ctx.gpu(), "fcl-dh")),
       StatusBuf(Ctx.createBuffer(Ctx.gpu(), 64, "fcl-status")),
-      Pool(Ctx, Ctx.gpu(), Opts.BufferPool) {}
+      Pool(Ctx, Ctx.gpu(), Opts.BufferPool) {
+  Diags.setStats(&Stats);
+  // Violations show up as zero-duration slices on a "Check" lane so they
+  // line up with the launch timeline in the trace viewer.
+  Diags.setObserver([this](const check::Diag &D) {
+    if (trace::Tracer *T = this->Ctx.tracer())
+      T->record("Check", check::diagKindName(D.Kind), this->Ctx.now(),
+                this->Ctx.now(), D.str());
+  });
+  if (Diags.enabled())
+    Checker = std::make_unique<check::ProtocolChecker>(Diags);
+}
 
 Runtime::~Runtime() { finish(); }
 
@@ -56,6 +68,7 @@ void Runtime::writeBuffer(runtime::BufferId Id, const void *Src,
   GpuAppQueue->enqueueWrite(*B.GpuBuf, Src, Bytes);
   B.CpuLanding = CpuQueue->enqueueWrite(*B.CpuBuf, Src, Bytes);
   Versions.noteHostWrite(Id, NextKernelId);
+  noteVersion(Id);
 }
 
 void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
@@ -115,6 +128,8 @@ void Runtime::finish() {
   std::erase_if(PendingDh,
                 [](const mcl::EventPtr &E) { return E->isComplete(); });
   FCL_CHECK(PendingDh.empty(), "DH transfers failed to drain");
+  if (Checker)
+    Checker->onRunFinish(Pool.inUseCount());
 }
 
 std::vector<KernelStats> Runtime::kernelStats() const {
@@ -172,6 +187,12 @@ void Runtime::whenCpuVersions(
     return;
   }
   FCL_FATAL("CPU copy is stale but no DH transfer is outstanding");
+}
+
+void Runtime::noteVersion(uint32_t Id) {
+  if (Checker)
+    Checker->onVersionNote(Id, Versions.expectedVersion(Id),
+                           Versions.cpuVersion(Id));
 }
 
 void Runtime::trackDh(mcl::EventPtr E) {

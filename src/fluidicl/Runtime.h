@@ -29,6 +29,8 @@
 #ifndef FCL_FLUIDICL_RUNTIME_H
 #define FCL_FLUIDICL_RUNTIME_H
 
+#include "check/Diag.h"
+#include "check/ProtocolChecker.h"
 #include "fluidicl/BufferPool.h"
 #include "fluidicl/OnlineProfiler.h"
 #include "fluidicl/Options.h"
@@ -69,6 +71,15 @@ public:
 
   const Options &options() const { return Opts; }
 
+  /// Diagnostic sink of the check subsystem (Options::Check controls
+  /// whether it collects anything). The OpenCL shim's lint layer and the
+  /// ProtocolChecker both report here.
+  check::DiagSink &diagSink() { return Diags; }
+  const check::DiagSink &diagSink() const { return Diags; }
+
+  /// Protocol invariant checker; null when Options::Check is Off.
+  check::ProtocolChecker *protocolChecker() { return Checker.get(); }
+
   /// Per-kernel execution summaries, in launch order. Call finish() first
   /// for final numbers.
   std::vector<KernelStats> kernelStats() const;
@@ -105,7 +116,13 @@ private:
   /// Registers an outstanding DH transfer event.
   void trackDh(mcl::EventPtr E);
 
+  /// Reports buffer \p Id's (expected, cpu) versions to the protocol
+  /// checker after any VersionTracker mutation.
+  void noteVersion(uint32_t Id);
+
   Options Opts;
+  check::DiagSink Diags;
+  std::unique_ptr<check::ProtocolChecker> Checker;
   std::unique_ptr<mcl::CommandQueue> GpuAppQueue; // Kernels, merges, writes.
   std::unique_ptr<mcl::CommandQueue> CpuQueue;    // CPU subkernels, writes.
   std::unique_ptr<mcl::CommandQueue> HdQueue;     // CPU data + status to GPU.

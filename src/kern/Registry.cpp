@@ -34,6 +34,16 @@ const KernelInfo &Registry::get(const std::string &Name) const {
   return *Info;
 }
 
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Kernels.size());
+  for (const auto &[Name, Info] : Kernels) {
+    (void)Info;
+    Out.push_back(Name);
+  }
+  return Out;
+}
+
 Registry &Registry::builtin() {
   static Registry *R = [] {
     auto *Reg = new Registry();

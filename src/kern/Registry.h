@@ -18,6 +18,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace fcl {
 namespace kern {
@@ -35,6 +36,9 @@ public:
   const KernelInfo &get(const std::string &Name) const;
 
   size_t size() const { return Kernels.size(); }
+
+  /// Names of every registered kernel, lexicographically sorted.
+  std::vector<std::string> names() const;
 
   /// The process-wide registry preloaded with every built-in kernel
   /// (Polybench suite, merge kernel, vector demo kernels). Lazily

@@ -1,0 +1,99 @@
+//===- tests/check_kernels_test.cpp - Registry-wide safety sweep -----------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regression guarantee of satellite (a): every registered polybench
+/// kernel's ArgAccess / UsesAtomics / RowContiguousOutput metadata agrees
+/// with its observed behaviour. The sweep must stay clean — a kernel added
+/// with wrong metadata (or without coverage) fails this suite, not a
+/// production run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/Checker.h"
+#include "check/Diag.h"
+#include "kern/Registry.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+using namespace fcl;
+using namespace fcl::check;
+
+namespace {
+
+/// One sweep shared by every test in this file (the probe is the
+/// expensive part; the assertions are not).
+const std::pair<DiagSink, std::vector<KernelVerdict>> &sweep() {
+  static auto *Result = [] {
+    auto *R = new std::pair<DiagSink, std::vector<KernelVerdict>>(
+        std::piecewise_construct, std::forward_as_tuple(Policy::Fail),
+        std::forward_as_tuple());
+    R->second = checkAllKernels(R->first);
+    return R;
+  }();
+  return *Result;
+}
+
+TEST(CheckKernelsTest, EveryRegisteredKernelIsCovered) {
+  const auto &[Sink, Verdicts] = sweep();
+  std::vector<std::string> Names = kern::Registry::builtin().names();
+  ASSERT_EQ(Verdicts.size(), Names.size());
+  for (const KernelVerdict &V : Verdicts)
+    EXPECT_TRUE(V.Covered) << V.Kernel << " has no coverage workload";
+  EXPECT_EQ(Sink.count(DiagKind::KernelNotCovered), 0u);
+}
+
+TEST(CheckKernelsTest, NoKernelMetadataIsMisdeclared) {
+  const auto &[Sink, Verdicts] = sweep();
+  for (const KernelVerdict &V : Verdicts)
+    EXPECT_EQ(V.Errors, 0u) << V.Kernel << " -> " << V.classification();
+  EXPECT_EQ(Sink.errorCount(), 0u) << Sink.renderAll();
+  EXPECT_FALSE(Sink.shouldFail());
+}
+
+TEST(CheckKernelsTest, HistogramClassifiedUnsafeToSplit) {
+  const auto &[Sink, Verdicts] = sweep();
+  (void)Sink;
+  bool Found = false;
+  for (const KernelVerdict &V : Verdicts) {
+    if (V.Kernel != "histogram_atomic")
+      continue;
+    Found = true;
+    // The one intentionally split-unsafe kernel: collisions observed AND
+    // UsesAtomics declared — the runtime's GPU-only fallback is justified
+    // and the declaration is not over-conservative.
+    EXPECT_TRUE(V.UnsafeToSplit);
+    EXPECT_TRUE(V.DeclaredUnsafe);
+    EXPECT_EQ(V.classification(), "unsafe-declared");
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CheckKernelsTest, OnlyHistogramIsSplitUnsafe) {
+  const auto &[Sink, Verdicts] = sweep();
+  (void)Sink;
+  for (const KernelVerdict &V : Verdicts) {
+    if (V.Kernel == "histogram_atomic")
+      continue;
+    EXPECT_FALSE(V.UnsafeToSplit) << V.Kernel;
+    EXPECT_FALSE(V.DeclaredUnsafe) << V.Kernel;
+    EXPECT_EQ(V.classification(), "fluidic-safe") << V.Kernel;
+  }
+}
+
+TEST(CheckKernelsTest, SafetyReportRendersEveryKernel) {
+  const auto &[Sink, Verdicts] = sweep();
+  (void)Sink;
+  std::string Report = renderSafetyReport(Verdicts);
+  for (const KernelVerdict &V : Verdicts)
+    EXPECT_NE(Report.find(V.Kernel), std::string::npos) << V.Kernel;
+  EXPECT_NE(Report.find("misdeclared-unsafe: 0"), std::string::npos);
+  EXPECT_NE(Report.find("not-covered: 0"), std::string::npos);
+}
+
+} // namespace

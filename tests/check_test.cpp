@@ -1,0 +1,441 @@
+//===- tests/check_test.cpp - fcl::check analyzer tests --------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests of the fluidic-safety analyzer: DiagSink policy/counter
+/// plumbing, the AccessOracle against the deliberately misdeclared fixture
+/// kernels (each must produce its distinct diagnostic), ProtocolChecker
+/// invariants driven with hand-built good and bad event sequences, the
+/// ShimLint host-API diagnostics, and a protocol-clean integration run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "check/AccessOracle.h"
+#include "check/Checker.h"
+#include "check/Diag.h"
+#include "check/Fixtures.h"
+#include "check/ProtocolChecker.h"
+#include "fluidicl/OpenCLShim.h"
+#include "fluidicl/Runtime.h"
+#include "stats/Registry.h"
+#include "work/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace fcl;
+using namespace fcl::check;
+using namespace fcl::fluidicl::shim;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// DiagSink
+//===----------------------------------------------------------------------===//
+
+TEST(DiagSinkTest, PolicyOffDropsEverything) {
+  DiagSink Sink(Policy::Off);
+  EXPECT_FALSE(Sink.enabled());
+  Sink.report(Diag::make(DiagKind::WriteToReadOnlyArg, "k", "msg", 0));
+  EXPECT_TRUE(Sink.diags().empty());
+  EXPECT_EQ(Sink.errorCount(), 0u);
+  EXPECT_FALSE(Sink.shouldFail());
+}
+
+TEST(DiagSinkTest, CountersAndSeverities) {
+  stats::Registry Stats;
+  DiagSink Sink(Policy::Warn);
+  Sink.setStats(&Stats);
+  Sink.report(Diag::make(DiagKind::WriteToReadOnlyArg, "k", "m", 0));
+  Sink.report(Diag::make(DiagKind::BenignWriteOverlap, "k", "m", 1));
+  Sink.report(Diag::make(DiagKind::UnsafeSplitDeclared, "k", "m"));
+  EXPECT_EQ(Sink.errorCount(), 1u);
+  EXPECT_EQ(Sink.warningCount(), 1u);
+  EXPECT_EQ(Sink.diags().size(), 3u);
+  EXPECT_EQ(Sink.count(DiagKind::WriteToReadOnlyArg), 1u);
+  EXPECT_EQ(Stats.counter("check_diags"), 3u);
+  EXPECT_EQ(Stats.counter("check_errors"), 1u);
+  EXPECT_EQ(Stats.counter("check_warnings"), 1u);
+  EXPECT_EQ(Stats.counter("check_access_write_to_in"), 1u);
+  // Warn never fails; Fail does once an error was collected.
+  EXPECT_FALSE(Sink.shouldFail());
+  Sink.setPolicy(Policy::Fail);
+  EXPECT_TRUE(Sink.shouldFail());
+}
+
+TEST(DiagSinkTest, ParsePolicy) {
+  Policy P = Policy::Off;
+  EXPECT_TRUE(parsePolicy("warn", P));
+  EXPECT_EQ(P, Policy::Warn);
+  EXPECT_TRUE(parsePolicy("fail", P));
+  EXPECT_EQ(P, Policy::Fail);
+  EXPECT_TRUE(parsePolicy("off", P));
+  EXPECT_EQ(P, Policy::Off);
+  EXPECT_TRUE(parsePolicy("", P));
+  EXPECT_EQ(P, Policy::Warn);
+  EXPECT_TRUE(parsePolicy("on", P));
+  EXPECT_EQ(P, Policy::Warn);
+  EXPECT_FALSE(parsePolicy("junk", P));
+}
+
+TEST(DiagSinkTest, EveryKindHasDistinctName) {
+  std::set<std::string> Names;
+  for (int K = 0; K < NumDiagKinds; ++K)
+    Names.insert(diagKindName(static_cast<DiagKind>(K)));
+  EXPECT_EQ(Names.size(), static_cast<size_t>(NumDiagKinds));
+}
+
+//===----------------------------------------------------------------------===//
+// AccessOracle on the misdeclaration fixtures
+//===----------------------------------------------------------------------===//
+
+TEST(AccessOracleTest, EachFixtureProducesItsDistinctDiagnostic) {
+  std::vector<FixtureCase> Cases = fixtureCases();
+  ASSERT_GE(Cases.size(), 7u);
+  for (const FixtureCase &Case : Cases) {
+    DiagSink Sink(Policy::Warn);
+    checkWorkload(Case.W, Sink, fixtureRegistry());
+    EXPECT_GT(Sink.count(Case.Expected), 0u)
+        << Case.W.Name << " did not produce "
+        << diagKindName(Case.Expected) << "\n"
+        << Sink.renderAll();
+    // Distinctness: no fixture trips another fixture's signature kind
+    // (beyond kinds that legitimately co-occur with its own).
+    for (const FixtureCase &Other : Cases) {
+      if (Other.Expected == Case.Expected)
+        continue;
+      if (Sink.count(Other.Expected) > 0 &&
+          Other.Expected != DiagKind::CrossGroupWriteOverlap)
+        ADD_FAILURE() << Case.W.Name << " unexpectedly produced "
+                      << diagKindName(Other.Expected) << "\n"
+                      << Sink.renderAll();
+    }
+  }
+}
+
+TEST(AccessOracleTest, CleanKernelProducesNoDiagnostics) {
+  DiagSink Sink(Policy::Warn);
+  work::Workload W;
+  W.Name = "clean";
+  W.Buffers = {{"x", 256}, {"y", 256}, {"z", 256}};
+  W.Calls.push_back({"vec_add", kern::NDRange::of1D(64, 32),
+                     {runtime::KArg::buffer(0), runtime::KArg::buffer(1),
+                      runtime::KArg::buffer(2), runtime::KArg::i64(64)}});
+  uint64_t Probed = checkWorkload(W, Sink, kern::Registry::builtin());
+  EXPECT_EQ(Probed, 1u);
+  EXPECT_TRUE(Sink.diags().empty()) << Sink.renderAll();
+}
+
+TEST(AccessOracleTest, BudgetSkipsWithInfoDiag) {
+  DiagSink Sink(Policy::Warn);
+  work::Workload W;
+  W.Name = "skip";
+  W.Buffers = {{"x", 256}, {"y", 256}, {"z", 256}};
+  W.Calls.push_back({"vec_add", kern::NDRange::of1D(64, 32),
+                     {runtime::KArg::buffer(0), runtime::KArg::buffer(1),
+                      runtime::KArg::buffer(2), runtime::KArg::i64(64)}});
+  uint64_t Probed =
+      checkWorkload(W, Sink, kern::Registry::builtin(), /*BudgetBytes=*/16);
+  EXPECT_EQ(Probed, 0u);
+  EXPECT_EQ(Sink.count(DiagKind::CheckSkippedTooLarge), 1u);
+  EXPECT_EQ(Sink.errorCount(), 0u);
+}
+
+TEST(AccessOracleTest, ReportObservationsMatchVecAdd) {
+  DiagSink Sink(Policy::Warn);
+  std::vector<std::byte> A(256), B(256), C(256);
+  for (size_t I = 0; I < 256; ++I) {
+    A[I] = std::byte(I & 0x7f);
+    B[I] = std::byte((I * 3) & 0x7f);
+    C[I] = std::byte(0xff);
+  }
+  const kern::KernelInfo &K = kern::Registry::builtin().get("vec_add");
+  OracleReport Rep = verifyCall(
+      K, kern::NDRange::of1D(64, 32),
+      {OracleBinding::buffer(A), OracleBinding::buffer(B),
+       OracleBinding::buffer(C), OracleBinding::scalarInt(64)},
+      Sink);
+  ASSERT_TRUE(Rep.Probed);
+  EXPECT_FALSE(Rep.SplitHazard);
+  EXPECT_EQ(Rep.Errors, 0u);
+  ASSERT_EQ(Rep.Args.size(), 4u);
+  EXPECT_EQ(Rep.Args[0].BytesWritten, 0u);
+  EXPECT_EQ(Rep.Args[1].BytesWritten, 0u);
+  EXPECT_GT(Rep.Args[2].BytesWritten, 0u);
+  EXPECT_FALSE(Rep.Args[2].PriorContentsDependence);
+}
+
+//===----------------------------------------------------------------------===//
+// ProtocolChecker driven directly
+//===----------------------------------------------------------------------===//
+
+struct ProtoFixture {
+  DiagSink Sink{Policy::Warn};
+  ProtocolChecker PC{Sink};
+
+  /// Drives a full clean cooperative launch: 64 groups, CPU takes the top
+  /// 16 in two subkernels, one out buffer, merge + scratch release.
+  void cleanLaunch(uint64_t Id = 1) {
+    PC.onLaunchStart(Id, "k", 64, 1, true);
+    PC.onCpuSubkernel(Id, 56, 64);
+    PC.onDataStaged(Id, 0, 56);
+    PC.onStatusCommit(Id, 56);
+    PC.onCpuSubkernel(Id, 48, 56);
+    PC.onDataStaged(Id, 0, 48);
+    PC.onStatusCommit(Id, 48);
+    PC.onGpuFinished(Id, 50);
+    PC.onMergeSet(Id, 48, false, true);
+    PC.onMergeEnqueued(Id, 0);
+    PC.onScratchReleased(Id, 2);
+  }
+};
+
+TEST(ProtocolCheckerTest, CleanSequenceIsQuiet) {
+  ProtoFixture F;
+  F.cleanLaunch();
+  F.PC.onRunFinish(0);
+  EXPECT_TRUE(F.Sink.diags().empty()) << F.Sink.renderAll();
+}
+
+TEST(ProtocolCheckerTest, NonContiguousCpuRange) {
+  ProtoFixture F;
+  F.PC.onLaunchStart(1, "k", 64, 1, true);
+  F.PC.onCpuSubkernel(1, 56, 64);
+  F.PC.onCpuSubkernel(1, 40, 50); // Gap: should descend from 56.
+  EXPECT_EQ(F.Sink.count(DiagKind::CpuRangeViolation), 1u);
+}
+
+TEST(ProtocolCheckerTest, BoundaryMustNotIncrease) {
+  ProtoFixture F;
+  F.PC.onLaunchStart(1, "k", 64, 1, true);
+  F.PC.onCpuSubkernel(1, 56, 64);
+  F.PC.onDataStaged(1, 0, 56);
+  F.PC.onStatusCommit(1, 56);
+  F.PC.onStatusCommit(1, 60); // Regressed upwards.
+  EXPECT_EQ(F.Sink.count(DiagKind::BoundaryNotMonotone), 1u);
+}
+
+TEST(ProtocolCheckerTest, StatusBeforeDataDetected) {
+  ProtoFixture F;
+  F.PC.onLaunchStart(1, "k", 64, 1, true);
+  F.PC.onCpuSubkernel(1, 56, 64);
+  // Status committed although no data for the out slot was staged.
+  F.PC.onStatusCommit(1, 56);
+  EXPECT_EQ(F.Sink.count(DiagKind::StatusBeforeData), 1u);
+}
+
+TEST(ProtocolCheckerTest, MergeInvariants) {
+  {
+    ProtoFixture F; // Merge credits GPU with unexecuted groups.
+    F.PC.onLaunchStart(1, "k", 64, 1, true);
+    F.PC.onCpuSubkernel(1, 56, 64);
+    F.PC.onDataStaged(1, 0, 56);
+    F.PC.onStatusCommit(1, 56);
+    F.PC.onGpuFinished(1, 40); // Below the boundary.
+    F.PC.onMergeSet(1, 56, false, true);
+    EXPECT_EQ(F.Sink.count(DiagKind::GpuCoverageGap), 1u);
+  }
+  {
+    ProtoFixture F; // Double merge on one slot.
+    F.cleanLaunch();
+    F.PC.onMergeEnqueued(1, 0);
+    EXPECT_EQ(F.Sink.count(DiagKind::DoubleMerge), 1u);
+  }
+  {
+    ProtoFixture F; // Merge although the CPU contributed nothing.
+    F.PC.onLaunchStart(1, "k", 64, 1, true);
+    F.PC.onGpuFinished(1, 64);
+    F.PC.onMergeSet(1, 64, false, false);
+    F.PC.onMergeEnqueued(1, 0);
+    EXPECT_EQ(F.Sink.count(DiagKind::UnexpectedMerge), 1u);
+  }
+  {
+    ProtoFixture F; // Expected merge never enqueued.
+    F.PC.onLaunchStart(1, "k", 64, 1, true);
+    F.PC.onCpuSubkernel(1, 56, 64);
+    F.PC.onDataStaged(1, 0, 56);
+    F.PC.onStatusCommit(1, 56);
+    F.PC.onGpuFinished(1, 60);
+    F.PC.onMergeSet(1, 56, false, true);
+    F.PC.onScratchReleased(1, 2);
+    F.PC.onRunFinish(0);
+    EXPECT_EQ(F.Sink.count(DiagKind::MergeMissing), 1u);
+  }
+}
+
+TEST(ProtocolCheckerTest, ScratchAndVersionChecks) {
+  {
+    ProtoFixture F;
+    F.PC.onLaunchStart(1, "k", 64, 1, true);
+    F.PC.onScratchReleased(1, 1); // Cooperative launch frees 2 per out.
+    EXPECT_EQ(F.Sink.count(DiagKind::ScratchLeak), 1u);
+  }
+  {
+    ProtoFixture F;
+    F.PC.onRunFinish(3); // Pool still holds buffers at finish.
+    EXPECT_EQ(F.Sink.count(DiagKind::ScratchLeak), 1u);
+  }
+  {
+    ProtoFixture F;
+    F.PC.onVersionNote(0, 2, 1);
+    F.PC.onVersionNote(0, 1, 1); // Expected version went backwards.
+    EXPECT_EQ(F.Sink.count(DiagKind::VersionRegression), 1u);
+  }
+  {
+    ProtoFixture F;
+    F.PC.onVersionNote(0, 2, 3); // CPU claims a version from the future.
+    EXPECT_EQ(F.Sink.count(DiagKind::VersionRegression), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ShimLint
+//===----------------------------------------------------------------------===//
+
+struct ShimLintTest : ::testing::Test {
+  mcl::Context Sim;
+  fluidicl::Runtime RT;
+  fcl_context Ctx;
+  fcl_command_queue Queue;
+
+  static fluidicl::Options checkedOpts() {
+    fluidicl::Options O;
+    O.Check = Policy::Warn;
+    return O;
+  }
+
+  ShimLintTest()
+      : Sim(hw::paperMachine(), mcl::ExecMode::Functional),
+        RT(Sim, checkedOpts()), Ctx(fclCreateContext(RT)),
+        Queue(fclCreateCommandQueue(Ctx)) {}
+  ~ShimLintTest() override { fclReleaseContext(Ctx); }
+};
+
+TEST_F(ShimLintTest, UseAfterReleaseQueue) {
+  EXPECT_EQ(fclReleaseCommandQueue(Queue), FCL_SUCCESS);
+  float V = 0;
+  fcl_int Err = FCL_SUCCESS;
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 4, nullptr, &Err);
+  ASSERT_EQ(Err, FCL_SUCCESS);
+  EXPECT_EQ(fclEnqueueWriteBuffer(Queue, Buf, FCL_TRUE, 0, 4, &V),
+            FCL_INVALID_COMMAND_QUEUE);
+  EXPECT_EQ(RT.diagSink().count(DiagKind::UseAfterRelease), 1u);
+  fclReleaseMemObject(Buf);
+}
+
+TEST_F(ShimLintTest, DoubleReleaseMem) {
+  fcl_int Err = FCL_SUCCESS;
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 4, nullptr, &Err);
+  ASSERT_EQ(Err, FCL_SUCCESS);
+  EXPECT_EQ(fclReleaseMemObject(Buf), FCL_SUCCESS);
+  EXPECT_EQ(fclReleaseMemObject(Buf), FCL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(RT.diagSink().count(DiagKind::DoubleRelease), 1u);
+}
+
+TEST_F(ShimLintTest, LaunchWithReleasedMemArg) {
+  fcl_int Err = FCL_SUCCESS;
+  constexpr size_t N = 64;
+  fcl_mem X = fclCreateBuffer(Ctx, FCL_MEM_READ_ONLY, N * 4, nullptr, &Err);
+  fcl_mem Y = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, N * 4, nullptr, &Err);
+  fcl_kernel K = fclCreateKernel(Ctx, "saxpy", &Err);
+  ASSERT_EQ(Err, FCL_SUCCESS);
+  float Alpha = 2.0f;
+  int64_t N64 = N;
+  ASSERT_EQ(fclSetKernelArg(K, 0, sizeof(fcl_mem), &X), FCL_SUCCESS);
+  ASSERT_EQ(fclSetKernelArg(K, 1, sizeof(fcl_mem), &Y), FCL_SUCCESS);
+  ASSERT_EQ(fclSetKernelArg(K, 2, sizeof(float), &Alpha), FCL_SUCCESS);
+  ASSERT_EQ(fclSetKernelArg(K, 3, sizeof(int64_t), &N64), FCL_SUCCESS);
+  fclReleaseMemObject(Y); // Released between set-arg and enqueue.
+  size_t Global = N, Local = 32;
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 1, nullptr, &Global, &Local),
+            FCL_INVALID_MEM_OBJECT);
+  EXPECT_EQ(RT.diagSink().count(DiagKind::UseAfterRelease), 1u);
+}
+
+TEST_F(ShimLintTest, UnsetArgsDiagnosed) {
+  fcl_int Err = FCL_SUCCESS;
+  fcl_kernel K = fclCreateKernel(Ctx, "vec_add", &Err);
+  ASSERT_EQ(Err, FCL_SUCCESS);
+  size_t Global = 64, Local = 32;
+  EXPECT_EQ(fclEnqueueNDRangeKernel(Queue, K, 1, nullptr, &Global, &Local),
+            FCL_INVALID_KERNEL_ARGS);
+  EXPECT_EQ(RT.diagSink().count(DiagKind::UnsetKernelArgs), 1u);
+}
+
+TEST_F(ShimLintTest, NonBlockingReadWarned) {
+  fcl_int Err = FCL_SUCCESS;
+  fcl_mem Buf = fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 16, nullptr, &Err);
+  ASSERT_EQ(Err, FCL_SUCCESS);
+  float Data[4] = {1, 2, 3, 4};
+  ASSERT_EQ(fclEnqueueWriteBuffer(Queue, Buf, FCL_TRUE, 0, 16, Data),
+            FCL_SUCCESS);
+  float Out[4] = {};
+  EXPECT_EQ(fclEnqueueReadBuffer(Queue, Buf, FCL_FALSE, 0, 16, Out),
+            FCL_SUCCESS);
+  EXPECT_EQ(RT.diagSink().count(DiagKind::NonBlockingReadAssumed), 1u);
+  EXPECT_EQ(Out[2], 3.0f); // Still executed (blocking under the hood).
+}
+
+TEST_F(ShimLintTest, LeakedObjectsOnContextRelease) {
+  fcl_int Err = FCL_SUCCESS;
+  fclCreateBuffer(Ctx, FCL_MEM_READ_WRITE, 16, nullptr, &Err);
+  fclCreateKernel(Ctx, "vec_add", &Err);
+  fclReleaseContext(Ctx); // Queue + buffer + kernel still live.
+  EXPECT_GE(RT.diagSink().count(DiagKind::LeakedObjects), 1u);
+  // Re-arm the fixture teardown with a fresh context.
+  Ctx = fclCreateContext(RT);
+  Queue = fclCreateCommandQueue(Ctx);
+}
+
+TEST_F(ShimLintTest, PolicyOffStaysSilent) {
+  mcl::Context Sim2(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime Quiet(Sim2, fluidicl::Options());
+  fcl_context C2 = fclCreateContext(Quiet);
+  fcl_command_queue Q2 = fclCreateCommandQueue(C2);
+  fclReleaseCommandQueue(Q2);
+  float V = 0;
+  fcl_int Err = FCL_SUCCESS;
+  fcl_mem Buf = fclCreateBuffer(C2, FCL_MEM_READ_WRITE, 4, nullptr, &Err);
+  EXPECT_EQ(fclEnqueueWriteBuffer(Q2, Buf, FCL_TRUE, 0, 4, &V),
+            FCL_INVALID_COMMAND_QUEUE); // Error code still returned...
+  EXPECT_TRUE(Quiet.diagSink().diags().empty()); // ...but no diagnostics.
+  fclReleaseContext(C2);
+}
+
+//===----------------------------------------------------------------------===//
+// Integration: cooperative runs stay protocol-clean under Fail
+//===----------------------------------------------------------------------===//
+
+TEST(CheckIntegrationTest, CooperativeRunIsProtocolClean) {
+  fluidicl::Options Opts;
+  Opts.Check = Policy::Fail;
+  for (const work::Workload &W :
+       {work::makeSyrk(64, 64), work::makeAtax(96, 96)}) {
+    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+    fluidicl::Runtime RT(Ctx, Opts);
+    work::RunResult Res = work::runWorkload(RT, W, true);
+    RT.finish();
+    EXPECT_TRUE(Res.Valid);
+    EXPECT_TRUE(RT.diagSink().diags().empty())
+        << W.Name << ":\n" << RT.diagSink().renderAll();
+    EXPECT_FALSE(RT.diagSink().shouldFail());
+  }
+}
+
+TEST(CheckIntegrationTest, RegionTransfersStayProtocolClean) {
+  fluidicl::Options Opts;
+  Opts.Check = Policy::Fail;
+  Opts.RegionTransfers = true;
+  mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+  fluidicl::Runtime RT(Ctx, Opts);
+  work::RunResult Res = work::runWorkload(RT, work::makeGemm(64, 64, 64), true);
+  RT.finish();
+  EXPECT_TRUE(Res.Valid);
+  EXPECT_TRUE(RT.diagSink().diags().empty()) << RT.diagSink().renderAll();
+}
+
+} // namespace

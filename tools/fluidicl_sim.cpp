@@ -15,6 +15,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/Checker.h"
+#include "check/Fixtures.h"
 #include "fluidicl/Runtime.h"
 #include "runtime/SingleDevice.h"
 #include "runtime/StaticPartition.h"
@@ -83,7 +85,7 @@ struct ToolConfig {
 /// requested the run's report is appended to \p Reports.
 RunResult runOne(const std::string &Runtime, const Workload &W,
                  const ToolConfig &Cfg, bool Validate,
-                 std::vector<stats::RunReport> &Reports) {
+                 std::vector<stats::RunReport> &Reports, bool &CheckFailed) {
   mcl::Context Ctx(Cfg.M, Cfg.Mode);
   trace::Tracer Tracer;
   // Stats need the tracer too: per-device utilization is derived from the
@@ -129,6 +131,11 @@ RunResult runOne(const std::string &Runtime, const Workload &W,
   } else if (Runtime == "fluidicl") {
     fluidicl::Runtime RT(Ctx, Cfg.FclOpts);
     Res = runWorkload(RT, W, Validate);
+    const check::DiagSink &Diags = RT.diagSink();
+    if (Diags.enabled() && !Diags.diags().empty())
+      std::printf("%s", Diags.renderAll().c_str());
+    if (Diags.shouldFail())
+      CheckFailed = true;
     for (const fluidicl::KernelStats &S : RT.kernelStats())
       std::printf("    %-22s cpu %6llu / gpu %6llu of %6llu groups, "
                   "%llu subkernels, chunk -> %.0f%%%s\n",
@@ -186,6 +193,13 @@ int main(int Argc, char **Argv) {
   Args.addOption("cpu-load", "external CPU slowdown factor", "1");
   Args.addOption("gpu-load", "external GPU slowdown factor", "1");
   Args.addFlag("functional", "execute kernels for real and validate");
+  Args.addOption("check",
+                 "fluidic-safety checking: off|warn|fail (arms the access "
+                 "oracle, protocol checker and shim lint)",
+                 "off");
+  Args.addFlag("check-fixtures",
+               "also probe the deliberately misdeclared fixture kernels "
+               "(with --check=fail the run exits non-zero)");
   Args.addOption("trace", "write a Chrome trace JSON to this path", "");
   Args.addFlag("stats", "print per-run counter/utilization summaries");
   Args.addOption("stats-json", "write run reports as JSON to this path", "");
@@ -221,6 +235,13 @@ int main(int Argc, char **Argv) {
   Cfg.PrintStats = Args.flag("stats");
   Cfg.StatsJsonPath = Args.str("stats-json");
   Cfg.StatsCsvPath = Args.str("stats-csv");
+  check::Policy CheckPol = check::Policy::Off;
+  if (!check::parsePolicy(Args.str("check"), CheckPol)) {
+    std::fprintf(stderr, "error: bad --check value '%s' (off|warn|fail)\n",
+                 Args.str("check").c_str());
+    return 1;
+  }
+  Cfg.FclOpts.Check = CheckPol;
 
   std::vector<Workload> Loads =
       selectWorkloads(Args.str("workload"), Args.i64("size"));
@@ -239,12 +260,34 @@ int main(int Argc, char **Argv) {
 
   bool Validate = Args.flag("functional");
   bool AnyInvalid = false;
+  bool CheckFailed = false;
+
+  // --check: probe every kernel call with the access oracle before the
+  // runs (the fluidicl runs additionally arm the protocol checker and the
+  // shim lint through Options::Check).
+  check::DiagSink OracleSink(CheckPol);
+  if (CheckPol != check::Policy::Off) {
+    const kern::Registry &Reg = kern::Registry::builtin();
+    uint64_t ProbedCalls = 0;
+    for (const Workload &W : Loads)
+      ProbedCalls += check::checkWorkload(W, OracleSink, Reg);
+    if (Args.flag("check-fixtures"))
+      for (const check::FixtureCase &Case : check::fixtureCases())
+        check::checkWorkload(Case.W, OracleSink, check::fixtureRegistry());
+    if (!OracleSink.diags().empty())
+      std::printf("%s", OracleSink.renderAll().c_str());
+    std::printf("check: %llu calls probed, %llu errors, %llu warnings\n\n",
+                static_cast<unsigned long long>(ProbedCalls),
+                static_cast<unsigned long long>(OracleSink.errorCount()),
+                static_cast<unsigned long long>(OracleSink.warningCount()));
+  }
+
   std::vector<stats::RunReport> Reports;
   for (const Workload &W : Loads) {
     std::printf("== %s - %s\n", W.Name.c_str(), W.Summary.c_str());
     Table T({"runtime", "total (s)", Validate ? "validated" : ""});
     for (const std::string &R : Runtimes) {
-      RunResult Res = runOne(R, W, Cfg, Validate, Reports);
+      RunResult Res = runOne(R, W, Cfg, Validate, Reports, CheckFailed);
       std::string Check;
       if (Res.Validated) {
         Check = Res.Valid ? "ok" : "FAILED";
@@ -275,5 +318,9 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "could not write stats CSV to %s\n",
                    Cfg.StatsCsvPath.c_str());
   }
-  return AnyInvalid ? 1 : 0;
+  if (OracleSink.shouldFail() || CheckFailed)
+    std::fprintf(stderr,
+                 "check: error diagnostics under --check=fail; exiting "
+                 "non-zero\n");
+  return (AnyInvalid || OracleSink.shouldFail() || CheckFailed) ? 1 : 0;
 }
