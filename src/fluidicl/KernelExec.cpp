@@ -55,6 +55,15 @@ mcl::LaunchDesc KernelExec::buildDesc(const kern::KernelInfo &K,
 }
 
 void KernelExec::run() {
+  start(nullptr);
+  // Block the application until the kernel is complete (paper section 7:
+  // kernel execution calls are blocking).
+  RT.Ctx.simulator().runWhileNot([this] { return AppComplete; });
+  FCL_CHECK(AppComplete, "kernel execution stalled");
+}
+
+void KernelExec::start(std::function<void()> Done) {
+  OnDone = std::move(Done);
   StartedAt = RT.Ctx.now();
 
   // Classify arguments: which buffers does this kernel write (they need
@@ -125,14 +134,11 @@ void KernelExec::run() {
     auto Self = shared_from_this();
     RT.whenCpuVersions(std::move(Gate), [Self] {
       Self->CpuActive = true;
-      Self->launchNextSubkernel();
+      // Routed through maybeContinueCpu so a chunk-yield hook (the serve
+      // layer's backfill gate) also governs the first chunk.
+      Self->maybeContinueCpu();
     });
   }
-
-  // Block the application until the kernel is complete (paper section 7:
-  // kernel execution calls are blocking).
-  RT.Ctx.simulator().runWhileNot([this] { return AppComplete; });
-  FCL_CHECK(AppComplete, "kernel execution stalled");
 }
 
 // --- GPU side --------------------------------------------------------------
@@ -429,8 +435,22 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
 }
 
 void KernelExec::maybeContinueCpu() {
-  if (!GpuDone && CpuLow > 0)
-    launchNextSubkernel();
+  if (GpuDone || MergePhaseStarted || CpuLow == 0)
+    return;
+  // Chunk boundaries are the natural yield points of the cooperative
+  // protocol: between subkernels the CPU holds no partial state. A
+  // registered chunk-yield hook (the serve layer's backfill gate) may
+  // delay the resume to slot foreign work onto the CPU; the guard re-runs
+  // at resume time because the GPU may have finished in the interim.
+  if (RT.ChunkYield) {
+    auto Self = shared_from_this();
+    RT.ChunkYield([Self] {
+      if (!Self->GpuDone && !Self->MergePhaseStarted && Self->CpuLow > 0)
+        Self->launchNextSubkernel();
+    });
+    return;
+  }
+  launchNextSubkernel();
 }
 
 // --- Completion ----------------------------------------------------------------
@@ -513,4 +533,11 @@ void KernelExec::appComplete() {
   Stats.FinalChunkPct = Chunks.currentPct();
   Stats.ChunkGrowthSteps = Chunks.growthSteps();
   Stats.CpuRanEverything = CpuRanAll;
+  if (OnDone) {
+    // Move out first: the callback may re-enter the runtime and launch the
+    // stream's next kernel.
+    std::function<void()> Fn = std::move(OnDone);
+    OnDone = nullptr;
+    Fn();
+  }
 }

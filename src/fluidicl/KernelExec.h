@@ -20,6 +20,7 @@
 #include "fluidicl/ChunkController.h"
 #include "fluidicl/Runtime.h"
 
+#include <functional>
 #include <memory>
 
 namespace fcl {
@@ -37,6 +38,11 @@ public:
   /// until the kernel is application-complete: either the merge finished
   /// on the GPU, or the CPU computed the entire NDRange first.
   void run();
+
+  /// Non-blocking variant for re-entrant callers (the serve layer): starts
+  /// the execution and returns; \p OnDone fires once when the kernel is
+  /// application-complete. run() is start(nullptr) plus a simulator drain.
+  void start(std::function<void()> OnDone);
 
   const KernelStats &stats() const { return Stats; }
 
@@ -108,6 +114,7 @@ private:
   /// mid-wave aborted (wasted) work-groups.
   std::shared_ptr<mcl::LaunchCounters> GpuCounters;
   KernelStats Stats;
+  std::function<void()> OnDone; // Fired once by appComplete (may be null).
 };
 
 } // namespace fluidicl

@@ -108,6 +108,47 @@ void Runtime::launchKernel(const std::string &KernelName,
   Exec->run();
 }
 
+void Runtime::launchKernelAsync(const std::string &KernelName,
+                                const kern::NDRange &Range,
+                                const std::vector<runtime::KArg> &Args,
+                                std::function<void()> OnDone) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  const kern::KernelInfo &Kernel = kern::Registry::builtin().get(KernelName);
+  FCL_CHECK(Kernel.Args.size() == Args.size(), "argument arity mismatch");
+  auto Exec = std::make_shared<KernelExec>(*this, Kernel, Range, Args);
+  Execs.push_back(Exec);
+  Exec->start(std::move(OnDone));
+}
+
+void Runtime::readBufferAsync(runtime::BufferId Id, void *Dst, uint64_t Bytes,
+                              std::function<void()> OnDone) {
+  Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
+  DualBuffer &B = buf(Id);
+  FCL_CHECK(Bytes <= B.Size, "read overruns buffer");
+  if (Opts.DataLocationTracking && Versions.cpuCurrent(Id)) {
+    // Same routing as readBuffer, but the landing-event wait becomes a
+    // completion subscription instead of a simulator drain.
+    auto Fin = [this, &B, Dst, Bytes, OnDone = std::move(OnDone)] {
+      Stats.add("reads_from_cpu");
+      Stats.add("reads_from_cpu_bytes", Bytes);
+      Ctx.hostAdvance(Ctx.machine().Host.memcpyTime(Bytes));
+      if (Dst && B.CpuBuf->backed())
+        std::memcpy(Dst, B.CpuBuf->data(), Bytes);
+      OnDone();
+    };
+    if (B.CpuLanding && !B.CpuLanding->isComplete())
+      B.CpuLanding->onComplete(std::move(Fin));
+    else
+      Fin();
+    return;
+  }
+  Stats.add("reads_from_gpu");
+  Stats.add("reads_from_gpu_bytes", Bytes);
+  mcl::EventPtr Done =
+      GpuAppQueue->enqueueRead(*B.GpuBuf, Dst, Bytes, 0, /*Blocking=*/false);
+  Done->onComplete(std::move(OnDone));
+}
+
 void Runtime::finish() {
   // Drain until every queue is idle and every DH transfer has landed.
   // Queues can feed each other (subkernel completion enqueues hd writes),

@@ -39,6 +39,7 @@
 #include "runtime/HeteroRuntime.h"
 #include "stats/LaunchStats.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +69,32 @@ public:
   void launchKernel(const std::string &KernelName, const kern::NDRange &Range,
                     const std::vector<runtime::KArg> &Args) override;
   void finish() override;
+
+  /// Non-blocking launch for re-entrant callers (the serve layer, which
+  /// drives several runtimes from inside simulator events and must not
+  /// nest blocking drains per stream). \p OnDone fires once when the
+  /// launch is application-complete. launchKernel remains the blocking
+  /// single-application API and is unchanged in behaviour.
+  void launchKernelAsync(const std::string &KernelName,
+                         const kern::NDRange &Range,
+                         const std::vector<runtime::KArg> &Args,
+                         std::function<void()> OnDone);
+
+  /// Non-blocking read: \p OnDone fires once the data is in \p Dst. Routes
+  /// exactly like readBuffer (CPU copy when current, GPU otherwise).
+  void readBufferAsync(runtime::BufferId Id, void *Dst, uint64_t Bytes,
+                       std::function<void()> OnDone);
+
+  /// Hook invoked at every CPU chunk boundary instead of immediately
+  /// launching the next subkernel; the hook owns the passed Resume closure
+  /// and calls it (now or later) to continue this runtime's CPU side. The
+  /// serve layer uses this to backfill foreign short jobs onto the CPU
+  /// between subkernel chunks. Null (the default) preserves the
+  /// single-application behaviour bit for bit.
+  void setChunkYield(
+      std::function<void(std::function<void()> Resume)> Hook) {
+    ChunkYield = std::move(Hook);
+  }
 
   const Options &options() const { return Opts; }
 
@@ -135,6 +162,7 @@ private:
   uint64_t NextKernelId = 0;
   std::vector<mcl::EventPtr> PendingDh;
   std::vector<std::shared_ptr<KernelExec>> Execs;
+  std::function<void(std::function<void()>)> ChunkYield;
 };
 
 } // namespace fluidicl

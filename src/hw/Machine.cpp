@@ -65,3 +65,21 @@ Machine fcl::hw::machineWithPhi() {
   M.Cpu.BehindPcie = true;
   return M;
 }
+
+bool fcl::hw::machineByName(const std::string &Name, Machine &Out) {
+  if (Name == "paper") {
+    Out = paperMachine();
+    return true;
+  }
+  if (Name == "laptop") {
+    Out = laptopMachine();
+    return true;
+  }
+  if (Name == "phi") {
+    Out = machineWithPhi();
+    return true;
+  }
+  return false;
+}
+
+const char *fcl::hw::machineNames() { return "paper|laptop|phi"; }

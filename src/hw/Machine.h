@@ -19,6 +19,7 @@
 #include "support/SimTime.h"
 
 #include <cstdint>
+#include <string>
 
 namespace fcl {
 namespace hw {
@@ -139,6 +140,15 @@ Machine laptopMachine();
 /// the same node"): many slow wide cores, large bandwidth, high offload
 /// overhead, and - unlike the CPU - PCIe-priced transfers.
 Machine machineWithPhi();
+
+/// Shared tool-flag parsing for --machine=<name>: fills \p Out for "paper",
+/// "laptop", or "phi" and returns true; false for unknown names (the caller
+/// reports the error). All tools route machine selection through this so
+/// the accepted spellings cannot drift apart.
+bool machineByName(const std::string &Name, Machine &Out);
+
+/// The names machineByName accepts, for usage/error text ("paper|laptop|phi").
+const char *machineNames();
 
 } // namespace hw
 } // namespace fcl

@@ -1,0 +1,393 @@
+//===- serve/Engine.cpp - Multi-tenant serving engine ---------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Engine.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <string_view>
+
+using namespace fcl;
+using namespace fcl::serve;
+
+Engine::Engine(EngineConfig C) : Cfg(std::move(C)) {
+  FCL_CHECK(Cfg.Streams > 0, "need at least one stream");
+  FCL_CHECK(Cfg.QueueDepth > 0, "queue depth must be positive");
+  Templates = jobTemplates(Cfg.Mix);
+  Ctx = std::make_unique<mcl::Context>(Cfg.M, Cfg.Mode);
+  Ctx->setTracer(Cfg.Tracer);
+  Gens.reserve(Cfg.Streams);
+  for (int S = 0; S < Cfg.Streams; ++S)
+    Gens.emplace_back(Cfg.Seed, S, Templates);
+}
+
+Engine::~Engine() = default;
+
+Engine::Req *Engine::newRequest(int Stream) {
+  auto R = std::make_unique<Req>();
+  R->Id = NextId++;
+  R->Stream = Stream;
+  R->T = &Gens[Stream].pickTemplate();
+  R->Large = R->T->MaxGroups >= Cfg.LargeThreshold;
+  Req *Raw = R.get();
+  Requests.push_back(std::move(R));
+  return Raw;
+}
+
+void Engine::scheduleOpenLoopArrivals() {
+  // All arrivals are a pure function of (seed, stream): pre-drawn here and
+  // scheduled up front, in stream-major order. Equal timestamps fire in
+  // schedule order, so the whole run is deterministic.
+  sim::Simulator &Sim = Ctx->simulator();
+  for (int S = 0; S < Cfg.Streams; ++S) {
+    StreamGen &G = Gens[S];
+    Duration At = Cfg.Arrival.Kind == ArrivalKind::Uniform
+                      ? G.initialPhase(Cfg.Arrival)
+                      : G.interarrival(Cfg.Arrival);
+    while (At <= Cfg.Horizon) {
+      Req *R = newRequest(S);
+      Sim.scheduleAt(TimePoint() + At, [this, R] { onArrival(R); });
+      At += G.interarrival(Cfg.Arrival);
+    }
+  }
+}
+
+void Engine::scheduleClosedLoopNext(int Stream, Duration Delay) {
+  TimePoint At = Ctx->now() + Delay;
+  if (At - TimePoint() > Cfg.Horizon)
+    return; // The stream's session ends inside the admission window.
+  Req *R = newRequest(Stream);
+  Ctx->simulator().scheduleAt(At, [this, R] { onArrival(R); });
+}
+
+void Engine::sampleQueueDepth() {
+  if (Cfg.Tracer)
+    Cfg.Tracer->counter("Serve queue depth", Ctx->now(),
+                        static_cast<double>(Ready.size()));
+}
+
+void Engine::onArrival(Req *R) {
+  R->ArrivalAt = Ctx->now();
+  ++Submitted;
+  if (Ready.size() >= static_cast<size_t>(Cfg.QueueDepth)) {
+    // Backpressure: the admission queue is full, shed the request.
+    R->Rejected = true;
+    R->Placement = "rejected";
+    ++RejectedN;
+    if (Cfg.Tracer)
+      Cfg.Tracer->record("Serve admission", "reject", Ctx->now(), Ctx->now(),
+                         formatString("req %llu stream %d (%s)",
+                                      static_cast<unsigned long long>(R->Id),
+                                      R->Stream, R->T->W.Name.c_str()));
+    if (Cfg.Arrival.Kind == ArrivalKind::Closed)
+      scheduleClosedLoopNext(R->Stream, Gens[R->Stream].think(Cfg.Arrival));
+    return;
+  }
+  Ready.push_back(R);
+  sampleQueueDepth();
+  dispatch();
+}
+
+Engine::Req *Engine::popHead() {
+  if (Ready.empty())
+    return nullptr;
+  Req *R = Ready.front();
+  Ready.pop_front();
+  sampleQueueDepth();
+  return R;
+}
+
+Engine::Req *Engine::takeFirst(bool WantLarge) {
+  for (auto It = Ready.begin(); It != Ready.end(); ++It) {
+    if ((*It)->Large == WantLarge) {
+      Req *R = *It;
+      Ready.erase(It);
+      sampleQueueDepth();
+      return R;
+    }
+  }
+  return nullptr;
+}
+
+void Engine::dispatch() {
+  switch (Cfg.P) {
+  case Policy::FifoExclusive:
+    // Status quo: the head-of-line job gets the whole pair, strictly FIFO.
+    if (!GpuJob && !CpuJob)
+      if (Req *R = popHead())
+        startCoop(R);
+    break;
+  case Policy::DeviceAffine:
+    // Strict pinning: large jobs queue for the GPU, small jobs for the
+    // CPU; neither class can use the other device even when it idles.
+    if (!GpuJob)
+      if (Req *R = takeFirst(/*WantLarge=*/true))
+        startSingle(R, /*OnGpu=*/true, /*Backfill=*/false);
+    if (!CpuJob)
+      if (Req *R = takeFirst(/*WantLarge=*/false))
+        startSingle(R, /*OnGpu=*/false, /*Backfill=*/false);
+    break;
+  case Policy::FluidicCorun:
+    // The head job runs cooperatively on the pair; while its CPU side is
+    // idle (between subkernel chunks, or before the version gate opens),
+    // whole small jobs backfill the CPU.
+    if (!GpuJob)
+      if (Req *R = popHead())
+        startCoop(R);
+    if (!CpuJob && !CorunCpuBusy)
+      if (Req *R = takeFirst(/*WantLarge=*/false))
+        startSingle(R, /*OnGpu=*/false, /*Backfill=*/true);
+    break;
+  }
+}
+
+void Engine::startCoop(Req *R) {
+  R->StartAt = Ctx->now();
+  R->Placement = Cfg.P == Policy::FifoExclusive ? "pair" : "corun";
+  ++CoopN;
+  // Leases are taken before start(): job setup advances the simulated
+  // clock (API overheads), which can re-enter dispatch via completions.
+  GpuJob = R;
+  GpuLeaseStart = Ctx->now();
+  if (Cfg.P == Policy::FifoExclusive) {
+    CpuJob = R;
+    CpuLeaseStart = Ctx->now();
+  }
+  auto Exec = std::make_unique<CoopJobExec>(*Ctx, R->T->W, Cfg.FclOpts,
+                                            Cfg.Validate);
+  if (Cfg.P == Policy::FluidicCorun)
+    Exec->runtime().setChunkYield([this](std::function<void()> Resume) {
+      onChunkBoundary(std::move(Resume));
+    });
+  R->Exec = std::move(Exec);
+  R->Exec->start([this, R] { jobDone(R); });
+}
+
+void Engine::startSingle(Req *R, bool OnGpu, bool Backfill) {
+  R->StartAt = Ctx->now();
+  R->Placement = Backfill ? "cpu-backfill" : (OnGpu ? "gpu" : "cpu");
+  if (OnGpu) {
+    ++GpuSingleN;
+    GpuJob = R;
+    GpuLeaseStart = Ctx->now();
+  } else {
+    ++CpuSingleN;
+    if (Backfill)
+      ++BackfillN;
+    CpuJob = R;
+    CpuLeaseStart = Ctx->now();
+  }
+  R->Exec = std::make_unique<SingleJobExec>(
+      *Ctx, OnGpu ? Ctx->gpu() : Ctx->cpu(), R->T->W, Cfg.Validate);
+  R->Exec->start([this, R] { jobDone(R); });
+}
+
+void Engine::setCorunCpuBusy(bool Busy) {
+  if (Busy == CorunCpuBusy)
+    return;
+  if (Busy) {
+    CorunCpuStart = Ctx->now();
+  } else {
+    CorunCpuNs += (Ctx->now() - CorunCpuStart).nanos();
+  }
+  CorunCpuBusy = Busy;
+}
+
+void Engine::onChunkBoundary(std::function<void()> Resume) {
+  ++ChunkYields;
+  // The cooperative CPU side is now idle: between subkernel chunks it
+  // holds no partial state, so the CPU can be lent out whole.
+  setCorunCpuBusy(false);
+  if (CpuJob) {
+    // A backfill job occupies the CPU; park the resume until it finishes.
+    PendingResumes.push_back(std::move(Resume));
+    return;
+  }
+  if (Req *S = takeFirst(/*WantLarge=*/false)) {
+    PendingResumes.push_back(std::move(Resume));
+    startSingle(S, /*OnGpu=*/false, /*Backfill=*/true);
+    return;
+  }
+  // Nothing to backfill: continue the cooperative CPU side immediately.
+  setCorunCpuBusy(true);
+  Resume();
+}
+
+void Engine::drainResumes() {
+  if (PendingResumes.empty())
+    return;
+  std::vector<std::function<void()>> Rs = std::move(PendingResumes);
+  PendingResumes.clear();
+  // The cooperative CPU side gets priority over further backfill so a
+  // stream of short jobs cannot starve the head job's CPU share; the next
+  // chunk boundary re-opens the backfill window.
+  setCorunCpuBusy(true);
+  for (std::function<void()> &Fn : Rs)
+    Fn();
+}
+
+void Engine::jobDone(Req *R) {
+  R->EndAt = Ctx->now();
+  R->Done = true;
+  ++CompletedN;
+  if (R->Exec->validationFailed())
+    ++ValidationFailuresN;
+  if (R->EndAt > LastEnd)
+    LastEnd = R->EndAt;
+
+  if (Cfg.Tracer) {
+    std::string Detail =
+        formatString("stream %d, %s, %llu groups, %s", R->Stream,
+                     R->Large ? "large" : "small",
+                     static_cast<unsigned long long>(R->T->MaxGroups),
+                     R->Placement);
+    std::string Name = formatString(
+        "%s #%llu", R->T->W.Name.c_str(),
+        static_cast<unsigned long long>(R->Id));
+    bool OnGpu = GpuJob == R;
+    bool OnCpu = CpuJob == R || std::string_view(R->Placement) == "cpu" ||
+                 std::string_view(R->Placement) == "cpu-backfill";
+    if (OnGpu)
+      Cfg.Tracer->record("Serve GPU", Name, R->StartAt, R->EndAt, Detail);
+    if (OnCpu)
+      Cfg.Tracer->record("Serve CPU", Name, R->StartAt, R->EndAt, Detail);
+  }
+
+  bool WasCoop = GpuJob == R && (Cfg.P != Policy::DeviceAffine);
+  bool WasBackfill = std::string_view(R->Placement) == "cpu-backfill";
+  if (GpuJob == R) {
+    GpuBusyNs += (Ctx->now() - GpuLeaseStart).nanos();
+    GpuJob = nullptr;
+  }
+  if (CpuJob == R) {
+    CpuBusyNs += (Ctx->now() - CpuLeaseStart).nanos();
+    CpuJob = nullptr;
+  }
+  if (WasCoop && Cfg.P == Policy::FluidicCorun) {
+    // The cooperative job is gone: close its CPU span and drop any resumes
+    // still parked for it (they would no-op anyway).
+    setCorunCpuBusy(false);
+    PendingResumes.clear();
+  }
+
+  if (Cfg.Arrival.Kind == ArrivalKind::Closed)
+    scheduleClosedLoopNext(R->Stream, Gens[R->Stream].think(Cfg.Arrival));
+
+  if (WasBackfill)
+    drainResumes();
+  dispatch();
+}
+
+ServeReport Engine::run() {
+  if (Cfg.Arrival.Kind == ArrivalKind::Closed) {
+    for (int S = 0; S < Cfg.Streams; ++S)
+      scheduleClosedLoopNext(S, Gens[S].initialPhase(Cfg.Arrival));
+  } else {
+    scheduleOpenLoopArrivals();
+  }
+  // Drain everything: arrivals, jobs, trailing cooperative transfers.
+  Ctx->simulator().run();
+  ServeReport Report = finalize();
+  // Tear down executors only now, at top level: cooperative runtimes
+  // FCL_CHECK their queues idle on destruction.
+  for (auto &R : Requests)
+    R->Exec.reset();
+  return Report;
+}
+
+ServeReport Engine::finalize() {
+  ServeReport Rep;
+  Rep.PolicyName = policyName(Cfg.P);
+  Rep.ArrivalDesc = Cfg.Arrival.str();
+  Rep.Mix = mixName(Cfg.Mix);
+  Rep.Machine = Cfg.MachineName;
+  Rep.Seed = Cfg.Seed;
+  Rep.Streams = Cfg.Streams;
+  Rep.QueueDepth = Cfg.QueueDepth;
+  Rep.LargeThreshold = Cfg.LargeThreshold;
+  Rep.HorizonMs = Cfg.Horizon.toMillis();
+  Rep.Submitted = Submitted;
+  Rep.Rejected = RejectedN;
+  Rep.Completed = CompletedN;
+
+  std::vector<double> QueueMs, ServiceMs, E2eMs, SmallMs, LargeMs;
+  for (const auto &R : Requests) {
+    RequestRecord Rec;
+    Rec.Id = R->Id;
+    Rec.Stream = R->Stream;
+    Rec.Workload = R->T->W.Name;
+    Rec.MaxGroups = R->T->MaxGroups;
+    Rec.Large = R->Large;
+    Rec.Rejected = R->Rejected;
+    Rec.Placement = R->Placement;
+    Rec.ArrivalAt = R->ArrivalAt;
+    Rec.StartAt = R->StartAt;
+    Rec.EndAt = R->EndAt;
+    Rep.Requests.push_back(Rec);
+    if (R->Rejected)
+      continue;
+    FCL_CHECK(R->Done, "admitted request never completed");
+    QueueMs.push_back(Rec.queueWaitMs());
+    ServiceMs.push_back(Rec.serviceMs());
+    E2eMs.push_back(Rec.e2eMs());
+    (R->Large ? LargeMs : SmallMs).push_back(Rec.e2eMs());
+    if (Cfg.SloMs > 0 && Rec.e2eMs() > Cfg.SloMs)
+      ++Rep.SloViolations;
+  }
+  Rep.QueueWait = summarizeLatency(QueueMs);
+  Rep.Service = summarizeLatency(ServiceMs);
+  Rep.E2e = summarizeLatency(E2eMs);
+  Rep.SmallE2e = summarizeLatency(SmallMs);
+  Rep.LargeE2e = summarizeLatency(LargeMs);
+  Rep.SmallCompleted = SmallMs.size();
+  Rep.LargeCompleted = LargeMs.size();
+
+  Rep.MakespanMs = (LastEnd - TimePoint()).toMillis();
+  Rep.ThroughputRps = Rep.MakespanMs > 0
+                          ? static_cast<double>(CompletedN) /
+                                (Rep.MakespanMs / 1e3)
+                          : 0.0;
+  Rep.GpuBusyMs = static_cast<double>(GpuBusyNs) * 1e-6;
+  Rep.CorunCpuMs = static_cast<double>(CorunCpuNs) * 1e-6;
+  Rep.CpuBusyMs = static_cast<double>(CpuBusyNs) * 1e-6 + Rep.CorunCpuMs;
+  Rep.GpuUtil = Rep.MakespanMs > 0 ? Rep.GpuBusyMs / Rep.MakespanMs : 0.0;
+  Rep.CpuUtil = Rep.MakespanMs > 0 ? Rep.CpuBusyMs / Rep.MakespanMs : 0.0;
+  Rep.CoopJobs = CoopN;
+  Rep.GpuJobs = GpuSingleN;
+  Rep.CpuJobs = CpuSingleN;
+  Rep.BackfillJobs = BackfillN;
+  Rep.ChunkYields = ChunkYields;
+  Rep.SloChecked = Cfg.SloMs > 0;
+  Rep.SloMs = Cfg.SloMs;
+  Rep.Validated = Cfg.Validate && Cfg.Mode == mcl::ExecMode::Functional;
+  Rep.ValidationFailures = ValidationFailuresN;
+
+  // Mirror into the fcl::stats registry (the observability view; the
+  // tool's --stats-json embeds it verbatim).
+  stats::Registry &St = Rep.Stats;
+  St.add("serve_submitted", Submitted);
+  St.add("serve_rejected", RejectedN);
+  St.add("serve_completed", CompletedN);
+  St.add("serve_jobs_coop", CoopN);
+  St.add("serve_jobs_gpu_single", GpuSingleN);
+  St.add("serve_jobs_cpu_single", CpuSingleN);
+  St.add("serve_jobs_backfill", BackfillN);
+  St.add("serve_chunk_yields", ChunkYields);
+  St.add("serve_slo_violations", Rep.SloViolations);
+  St.add("serve_validation_failures", ValidationFailuresN);
+  St.set("serve_e2e_p50_ms", Rep.E2e.P50);
+  St.set("serve_e2e_p95_ms", Rep.E2e.P95);
+  St.set("serve_e2e_p99_ms", Rep.E2e.P99);
+  St.set("serve_queue_wait_p95_ms", Rep.QueueWait.P95);
+  St.set("serve_service_p95_ms", Rep.Service.P95);
+  St.set("serve_makespan_ms", Rep.MakespanMs);
+  St.set("serve_throughput_rps", Rep.ThroughputRps);
+  St.set("serve_gpu_util", Rep.GpuUtil);
+  St.set("serve_cpu_util", Rep.CpuUtil);
+  return Rep;
+}

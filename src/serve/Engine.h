@@ -1,0 +1,157 @@
+//===- serve/Engine.h - Multi-tenant serving engine -------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving engine: admits N concurrent client streams of kernel-launch
+/// jobs, queues them through a bounded admission queue (arrivals beyond
+/// the depth limit are rejected - backpressure), and dispatches them over
+/// the simulated CPU+GPU pair under a pluggable Policy.
+///
+/// Devices are granted as job-level leases: at most one job computes on a
+/// device at a time (the devices themselves model no cross-queue kernel
+/// contention, so the engine is the arbiter). Under FluidicCorun the
+/// cooperative head job leases the GPU while its CPU side yields between
+/// subkernel chunks through fluidicl::Runtime's chunk-yield hook; the
+/// engine slots whole short jobs into those yield windows ("backfill") and
+/// resumes the cooperative CPU side when they finish.
+///
+/// Everything runs as completion callbacks on the deterministic simulator:
+/// same seed, same configuration => byte-identical report JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SERVE_ENGINE_H
+#define FCL_SERVE_ENGINE_H
+
+#include "fluidicl/Options.h"
+#include "hw/Machine.h"
+#include "mcl/Context.h"
+#include "serve/JobExec.h"
+#include "serve/LoadGen.h"
+#include "serve/Metrics.h"
+#include "serve/Policy.h"
+#include "trace/Tracer.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace fcl {
+namespace serve {
+
+struct EngineConfig {
+  hw::Machine M = hw::paperMachine();
+  std::string MachineName = "paper";
+  mcl::ExecMode Mode = mcl::ExecMode::TimingOnly;
+  Policy P = Policy::FifoExclusive;
+  /// Concurrent client streams.
+  int Streams = 8;
+  ArrivalSpec Arrival;
+  /// Admission window: no arrivals are issued after this point; admitted
+  /// jobs run to completion.
+  Duration Horizon = Duration::milliseconds(250);
+  uint64_t Seed = 1;
+  /// Bounded admission queue depth; arrivals beyond it are rejected.
+  int QueueDepth = 64;
+  /// Jobs with >= this many work-groups (max over their launches) are
+  /// "large" for DeviceAffine pinning and FluidicCorun backfill class.
+  uint64_t LargeThreshold = 64;
+  MixKind Mix = MixKind::Mixed;
+  fluidicl::Options FclOpts;
+  /// Validate results against the host reference (functional mode only).
+  bool Validate = false;
+  /// End-to-end SLO in milliseconds; 0 disables the check.
+  double SloMs = 0;
+  /// Optional tracer: serve lanes + queue-depth counter track.
+  trace::Tracer *Tracer = nullptr;
+};
+
+/// One engine instance runs one complete serve experiment.
+class Engine {
+public:
+  explicit Engine(EngineConfig Cfg);
+  ~Engine();
+
+  /// Generates the load, runs the simulation to completion and returns
+  /// the aggregate report.
+  ServeReport run();
+
+private:
+  struct Req {
+    uint64_t Id = 0;
+    int Stream = 0;
+    const JobTemplate *T = nullptr;
+    TimePoint ArrivalAt;
+    TimePoint StartAt;
+    TimePoint EndAt;
+    bool Large = false;
+    bool Rejected = false;
+    bool Done = false;
+    const char *Placement = "";
+    std::unique_ptr<JobExec> Exec;
+  };
+
+  Req *newRequest(int Stream);
+  void scheduleOpenLoopArrivals();
+  void scheduleClosedLoopNext(int Stream, Duration Delay);
+  void onArrival(Req *R);
+  void dispatch();
+  void startCoop(Req *R);
+  void startSingle(Req *R, bool OnGpu, bool Backfill);
+  void jobDone(Req *R);
+  /// fluidicl chunk-yield hook of the active cooperative job (corun only).
+  void onChunkBoundary(std::function<void()> Resume);
+  void drainResumes();
+  void setCorunCpuBusy(bool Busy);
+  /// Removes and returns the first queued request with the given class;
+  /// null when none matches.
+  Req *takeFirst(bool WantLarge);
+  Req *popHead();
+  void sampleQueueDepth();
+  ServeReport finalize();
+
+  EngineConfig Cfg;
+  std::vector<JobTemplate> Templates;
+  std::unique_ptr<mcl::Context> Ctx;
+  std::vector<StreamGen> Gens;
+  std::vector<std::unique_ptr<Req>> Requests;
+  std::deque<Req *> Ready;
+
+  // Device leases. A cooperative FifoExclusive job holds both.
+  Req *GpuJob = nullptr;
+  Req *CpuJob = nullptr;
+  TimePoint GpuLeaseStart;
+  TimePoint CpuLeaseStart;
+  int64_t GpuBusyNs = 0;
+  int64_t CpuBusyNs = 0;
+
+  // Cooperative-CPU activity tracking (FluidicCorun): true while the
+  // corun job's CPU side is between resume and the next chunk boundary.
+  bool CorunCpuBusy = false;
+  TimePoint CorunCpuStart;
+  int64_t CorunCpuNs = 0;
+  /// Deferred resumes of the cooperative CPU side, invoked when the
+  /// backfill job occupying the CPU completes. Stale resumes (their
+  /// kernel's GPU side finished meanwhile) no-op via their own guards.
+  std::vector<std::function<void()>> PendingResumes;
+
+  uint64_t NextId = 0;
+  uint64_t Submitted = 0;
+  uint64_t RejectedN = 0;
+  uint64_t CompletedN = 0;
+  uint64_t CoopN = 0;
+  uint64_t GpuSingleN = 0;
+  uint64_t CpuSingleN = 0;
+  uint64_t BackfillN = 0;
+  uint64_t ChunkYields = 0;
+  uint64_t ValidationFailuresN = 0;
+  TimePoint LastEnd;
+};
+
+} // namespace serve
+} // namespace fcl
+
+#endif // FCL_SERVE_ENGINE_H

@@ -1,0 +1,127 @@
+//===- serve/JobExec.h - Asynchronous per-job executors ---------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one admitted job (a work::Workload) to completion without ever
+/// blocking the simulator: the serve engine drives many jobs concurrently
+/// from inside simulator events, so every executor is a completion-callback
+/// chain, not a drain loop.
+///
+///  * CoopJobExec   - the job owns a private fluidicl::Runtime (its own
+///    command queues, buffers, version tracker and stats over the shared
+///    simulated devices) and executes cooperatively across the CPU+GPU
+///    pair via the runtime's async API.
+///  * SingleJobExec - the job owns one in-order command queue on a single
+///    device; writes, kernels and reads are enqueued back-to-back and the
+///    last read's completion finishes the job.
+///
+/// In functional execution mode both executors can validate their results
+/// against the host reference, proving that concurrent streams do not
+/// corrupt each other's data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SERVE_JOBEXEC_H
+#define FCL_SERVE_JOBEXEC_H
+
+#include "fluidicl/Options.h"
+#include "fluidicl/Runtime.h"
+#include "mcl/CommandQueue.h"
+#include "mcl/Context.h"
+#include "work/Workload.h"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fcl {
+namespace serve {
+
+/// Base of the two executor shapes. Lifetime: the engine keeps every
+/// executor alive until the whole run is torn down, so trailing cooperative
+/// work (DH transfers after the client already has its results) can drain
+/// on the shared clock without dangling queues.
+class JobExec {
+public:
+  using DoneFn = std::function<void()>;
+
+  virtual ~JobExec() = default;
+
+  /// Starts the job; \p OnDone fires exactly once, when the client has its
+  /// results (trailing cooperative drain may continue afterwards, matching
+  /// how the paper measures total running time).
+  virtual void start(DoneFn OnDone) = 0;
+
+  /// True when functional validation ran and the results were wrong.
+  bool validationFailed() const { return ValidationFailed; }
+
+protected:
+  bool ValidationFailed = false;
+};
+
+/// Cooperative CPU+GPU execution through a private FluidiCL runtime.
+class CoopJobExec final : public JobExec {
+public:
+  CoopJobExec(mcl::Context &Ctx, const work::Workload &W,
+              const fluidicl::Options &Opts, bool Validate);
+
+  void start(DoneFn OnDone) override;
+
+  /// The job's private runtime (the engine installs its chunk-yield hook
+  /// here before start()).
+  fluidicl::Runtime &runtime() { return *RT; }
+
+private:
+  void launchNext();
+  void readNext();
+  void finishJob();
+
+  mcl::Context &Ctx;
+  const work::Workload &W;
+  bool Validate;
+  std::unique_ptr<fluidicl::Runtime> RT;
+  std::vector<runtime::BufferId> Ids;
+  std::vector<std::vector<std::byte>> Host;    // Functional mode only.
+  std::vector<std::vector<std::byte>> Results; // Functional mode only.
+  size_t NextCall = 0;
+  size_t NextRead = 0;
+  DoneFn OnDone;
+};
+
+/// Whole job on one device through a private in-order queue.
+class SingleJobExec final : public JobExec {
+public:
+  SingleJobExec(mcl::Context &Ctx, mcl::Device &Dev, const work::Workload &W,
+                bool Validate);
+
+  void start(DoneFn OnDone) override;
+
+private:
+  void finishJob();
+
+  mcl::Context &Ctx;
+  mcl::Device &Dev;
+  const work::Workload &W;
+  bool Validate;
+  std::unique_ptr<mcl::CommandQueue> Q;
+  std::vector<std::unique_ptr<mcl::Buffer>> Bufs;
+  std::vector<std::vector<std::byte>> Host;
+  std::vector<std::vector<std::byte>> Results;
+  DoneFn OnDone;
+};
+
+/// Validates \p Results (one vector per W.ResultBuffers entry) against the
+/// host reference; returns true when every float matches within tolerance.
+/// Shared by both executors and only meaningful in functional mode.
+bool validateResults(const work::Workload &W,
+                     std::vector<std::vector<std::byte>> &Host,
+                     const std::vector<std::vector<std::byte>> &Results);
+
+} // namespace serve
+} // namespace fcl
+
+#endif // FCL_SERVE_JOBEXEC_H

@@ -1,0 +1,172 @@
+//===- serve/LoadGen.cpp - Synthetic multi-stream load generation ---------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LoadGen.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace fcl;
+using namespace fcl::serve;
+
+std::string ArrivalSpec::str() const {
+  switch (Kind) {
+  case ArrivalKind::Poisson:
+    return formatString("poisson:%g", RatePerSec);
+  case ArrivalKind::Uniform:
+    return formatString("uniform:%g", RatePerSec);
+  case ArrivalKind::Closed:
+    return formatString("closed:%g", Think.toMillis());
+  }
+  return "?";
+}
+
+bool fcl::serve::parseArrivalSpec(const std::string &Spec, ArrivalSpec &Out,
+                                  std::string &Err) {
+  size_t Colon = Spec.find(':');
+  std::string Kind = Spec.substr(0, Colon);
+  double Value = 0;
+  if (Colon != std::string::npos) {
+    try {
+      Value = std::stod(Spec.substr(Colon + 1));
+    } catch (...) {
+      Err = "malformed arrival value in '" + Spec + "'";
+      return false;
+    }
+  }
+  if (Value <= 0) {
+    Err = "arrival spec '" + Spec + "' needs a positive value";
+    return false;
+  }
+  if (Kind == "poisson") {
+    Out.Kind = ArrivalKind::Poisson;
+    Out.RatePerSec = Value;
+    return true;
+  }
+  if (Kind == "uniform") {
+    Out.Kind = ArrivalKind::Uniform;
+    Out.RatePerSec = Value;
+    return true;
+  }
+  if (Kind == "closed") {
+    Out.Kind = ArrivalKind::Closed;
+    Out.Think = Duration::seconds(Value / 1e3);
+    return true;
+  }
+  Err = "unknown arrival kind '" + Kind + "' (poisson|uniform|closed)";
+  return false;
+}
+
+bool fcl::serve::parseMix(const std::string &Name, MixKind &Out) {
+  if (Name == "mixed") {
+    Out = MixKind::Mixed;
+    return true;
+  }
+  if (Name == "small") {
+    Out = MixKind::Small;
+    return true;
+  }
+  if (Name == "large") {
+    Out = MixKind::Large;
+    return true;
+  }
+  return false;
+}
+
+const char *fcl::serve::mixName(MixKind M) {
+  switch (M) {
+  case MixKind::Mixed:
+    return "mixed";
+  case MixKind::Small:
+    return "small";
+  case MixKind::Large:
+    return "large";
+  }
+  return "?";
+}
+
+std::vector<JobTemplate> fcl::serve::jobTemplates(MixKind Mix) {
+  auto Entry = [](work::Workload W) {
+    JobTemplate T;
+    uint64_t Max = 0;
+    for (uint64_t G : W.groupCounts())
+      Max = std::max(Max, G);
+    T.MaxGroups = Max;
+    T.W = std::move(W);
+    return T;
+  };
+  // Small: latency-sensitive lookups of a few work-groups. Large: matrix
+  // kernels with hundreds of work-groups that profit from cooperative
+  // CPU+GPU execution.
+  std::vector<JobTemplate> Small = {
+      Entry(work::makeGesummv(256)),
+      Entry(work::makeAtax(256, 256)),
+      Entry(work::makeMvt(256)),
+      Entry(work::makeBicg(256, 256)),
+  };
+  std::vector<JobTemplate> Large = {
+      Entry(work::makeSyrk(256, 256)),
+      Entry(work::makeSyr2k(192, 192)),
+      Entry(work::makeGemm(256, 256, 256)),
+  };
+  std::vector<JobTemplate> Out;
+  switch (Mix) {
+  case MixKind::Small:
+    return Small;
+  case MixKind::Large:
+    return Large;
+  case MixKind::Mixed:
+    // Duplicated small entries weight the uniform template draw roughly
+    // 70/30 towards small jobs (a heavy-tailed production mix).
+    for (int Rep = 0; Rep < 2; ++Rep)
+      for (const JobTemplate &T : Small)
+        Out.push_back(T);
+    for (const JobTemplate &T : Large)
+      Out.push_back(T);
+    return Out;
+  }
+  FCL_FATAL("unknown mix");
+}
+
+uint64_t StreamGen::mixSeed(uint64_t Seed, int Stream) {
+  // splitmix-style mix so per-stream sequences are unrelated even for
+  // adjacent seeds / stream indices.
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ull *
+                          (static_cast<uint64_t>(Stream) + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+Duration StreamGen::interarrival(const ArrivalSpec &A) {
+  switch (A.Kind) {
+  case ArrivalKind::Poisson: {
+    // Exponential via inverse transform; 1 - U avoids log(0).
+    double U = R.nextDouble();
+    return Duration::seconds(-std::log(1.0 - U) / A.RatePerSec);
+  }
+  case ArrivalKind::Uniform:
+    return Duration::seconds(1.0 / A.RatePerSec);
+  case ArrivalKind::Closed:
+    return think(A);
+  }
+  FCL_FATAL("unknown arrival kind");
+}
+
+Duration StreamGen::think(const ArrivalSpec &A) {
+  double U = R.nextDouble();
+  return Duration::seconds(-std::log(1.0 - U) * A.Think.toSeconds());
+}
+
+Duration StreamGen::initialPhase(const ArrivalSpec &A) {
+  double Window = A.Kind == ArrivalKind::Closed
+                      ? A.Think.toSeconds()
+                      : 1.0 / A.RatePerSec;
+  return Duration::seconds(R.nextDouble() * Window);
+}

@@ -1,0 +1,204 @@
+//===- serve/Metrics.cpp - Request-level serving metrics ------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Metrics.h"
+
+#include "support/Format.h"
+#include "support/Statistics.h"
+
+using namespace fcl;
+using namespace fcl::serve;
+
+LatencySummary fcl::serve::summarizeLatency(
+    const std::vector<double> &ValuesMs) {
+  LatencySummary S;
+  if (ValuesMs.empty())
+    return S;
+  S.P50 = percentile(ValuesMs, 50);
+  S.P95 = percentile(ValuesMs, 95);
+  S.P99 = percentile(ValuesMs, 99);
+  S.Mean = mean(ValuesMs);
+  S.Max = percentile(ValuesMs, 100);
+  return S;
+}
+
+namespace {
+
+// All floats go through one fixed format so identical runs serialize to
+// identical bytes.
+std::string num(double V) { return formatString("%.6f", V); }
+
+std::string latencyJson(const LatencySummary &S) {
+  return formatString(
+      "{\"p50\": %s, \"p95\": %s, \"p99\": %s, \"mean\": %s, \"max\": %s}",
+      num(S.P50).c_str(), num(S.P95).c_str(), num(S.P99).c_str(),
+      num(S.Mean).c_str(), num(S.Max).c_str());
+}
+
+} // namespace
+
+std::string ServeReport::toJson() const {
+  std::string J;
+  J += "{\n";
+  J += "  \"schema\": \"fcl-serve-report-v1\",\n";
+  J += formatString("  \"policy\": \"%s\",\n", jsonEscape(PolicyName).c_str());
+  J += formatString("  \"arrival\": \"%s\",\n",
+                    jsonEscape(ArrivalDesc).c_str());
+  J += formatString("  \"mix\": \"%s\",\n", jsonEscape(Mix).c_str());
+  J += formatString("  \"machine\": \"%s\",\n", jsonEscape(Machine).c_str());
+  J += formatString("  \"seed\": %llu,\n",
+                    static_cast<unsigned long long>(Seed));
+  J += formatString("  \"streams\": %d,\n", Streams);
+  J += formatString("  \"queue_depth\": %d,\n", QueueDepth);
+  J += formatString("  \"large_threshold_groups\": %llu,\n",
+                    static_cast<unsigned long long>(LargeThreshold));
+  J += formatString("  \"horizon_ms\": %s,\n", num(HorizonMs).c_str());
+  J += formatString("  \"submitted\": %llu,\n",
+                    static_cast<unsigned long long>(Submitted));
+  J += formatString("  \"rejected\": %llu,\n",
+                    static_cast<unsigned long long>(Rejected));
+  J += formatString("  \"completed\": %llu,\n",
+                    static_cast<unsigned long long>(Completed));
+  J += "  \"latency_ms\": {\n";
+  J += formatString("    \"queue_wait\": %s,\n",
+                    latencyJson(QueueWait).c_str());
+  J += formatString("    \"service\": %s,\n", latencyJson(Service).c_str());
+  J += formatString("    \"e2e\": %s\n", latencyJson(E2e).c_str());
+  J += "  },\n";
+  J += "  \"per_class\": {\n";
+  J += formatString("    \"small\": {\"completed\": %llu, \"e2e\": %s},\n",
+                    static_cast<unsigned long long>(SmallCompleted),
+                    latencyJson(SmallE2e).c_str());
+  J += formatString("    \"large\": {\"completed\": %llu, \"e2e\": %s}\n",
+                    static_cast<unsigned long long>(LargeCompleted),
+                    latencyJson(LargeE2e).c_str());
+  J += "  },\n";
+  J += formatString("  \"makespan_ms\": %s,\n", num(MakespanMs).c_str());
+  J += formatString("  \"throughput_rps\": %s,\n",
+                    num(ThroughputRps).c_str());
+  J += "  \"occupancy\": {\n";
+  J += formatString("    \"gpu_busy_ms\": %s,\n", num(GpuBusyMs).c_str());
+  J += formatString("    \"cpu_busy_ms\": %s,\n", num(CpuBusyMs).c_str());
+  J += formatString("    \"corun_cpu_ms\": %s,\n", num(CorunCpuMs).c_str());
+  J += formatString("    \"gpu_util\": %s,\n", num(GpuUtil).c_str());
+  J += formatString("    \"cpu_util\": %s\n", num(CpuUtil).c_str());
+  J += "  },\n";
+  J += "  \"placement\": {\n";
+  J += formatString("    \"coop_jobs\": %llu,\n",
+                    static_cast<unsigned long long>(CoopJobs));
+  J += formatString("    \"gpu_jobs\": %llu,\n",
+                    static_cast<unsigned long long>(GpuJobs));
+  J += formatString("    \"cpu_jobs\": %llu,\n",
+                    static_cast<unsigned long long>(CpuJobs));
+  J += formatString("    \"backfill_jobs\": %llu,\n",
+                    static_cast<unsigned long long>(BackfillJobs));
+  J += formatString("    \"chunk_yields\": %llu\n",
+                    static_cast<unsigned long long>(ChunkYields));
+  J += "  },\n";
+  J += "  \"slo\": {\n";
+  J += formatString("    \"checked\": %s,\n", SloChecked ? "true" : "false");
+  J += formatString("    \"slo_ms\": %s,\n", num(SloMs).c_str());
+  J += formatString("    \"violations\": %llu\n",
+                    static_cast<unsigned long long>(SloViolations));
+  J += "  },\n";
+  J += "  \"validation\": {\n";
+  J += formatString("    \"validated\": %s,\n", Validated ? "true" : "false");
+  J += formatString("    \"failures\": %llu\n",
+                    static_cast<unsigned long long>(ValidationFailures));
+  J += "  },\n";
+  // The fcl::stats mirror: std::map iteration gives lexicographic, i.e.
+  // deterministic, key order.
+  J += "  \"stats\": {\n";
+  J += "    \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Stats.counters()) {
+    J += formatString("%s\n      \"%s\": %llu", First ? "" : ",",
+                      jsonEscape(Name).c_str(),
+                      static_cast<unsigned long long>(Value));
+    First = false;
+  }
+  J += First ? "},\n" : "\n    },\n";
+  J += "    \"gauges\": {";
+  First = true;
+  for (const auto &[Name, Value] : Stats.gauges()) {
+    J += formatString("%s\n      \"%s\": %s", First ? "" : ",",
+                      jsonEscape(Name).c_str(), num(Value).c_str());
+    First = false;
+  }
+  J += First ? "}\n" : "\n    }\n";
+  J += "  }\n";
+  J += "}\n";
+  return J;
+}
+
+std::string ServeReport::toText() const {
+  std::string T;
+  T += formatString("serve: policy=%s arrival=%s mix=%s machine=%s seed=%llu "
+                    "streams=%d\n",
+                    PolicyName.c_str(), ArrivalDesc.c_str(), Mix.c_str(),
+                    Machine.c_str(), static_cast<unsigned long long>(Seed),
+                    Streams);
+  T += formatString(
+      "requests: submitted=%llu rejected=%llu completed=%llu\n",
+      static_cast<unsigned long long>(Submitted),
+      static_cast<unsigned long long>(Rejected),
+      static_cast<unsigned long long>(Completed));
+  T += formatString("makespan %.3f ms, throughput %.1f req/s\n", MakespanMs,
+                    ThroughputRps);
+  auto Row = [](const char *Name, const LatencySummary &S) {
+    return formatString(
+        "  %-11s p50 %9.3f  p95 %9.3f  p99 %9.3f  mean %9.3f  max %9.3f\n",
+        Name, S.P50, S.P95, S.P99, S.Mean, S.Max);
+  };
+  T += "latency (ms):\n";
+  T += Row("queue-wait", QueueWait);
+  T += Row("service", Service);
+  T += Row("e2e", E2e);
+  if (SmallCompleted)
+    T += Row("e2e/small", SmallE2e);
+  if (LargeCompleted)
+    T += Row("e2e/large", LargeE2e);
+  T += formatString("occupancy: gpu %.1f%% cpu %.1f%% (corun-cpu %.3f ms)\n",
+                    GpuUtil * 100, CpuUtil * 100, CorunCpuMs);
+  T += formatString(
+      "placement: coop=%llu gpu=%llu cpu=%llu backfill=%llu yields=%llu\n",
+      static_cast<unsigned long long>(CoopJobs),
+      static_cast<unsigned long long>(GpuJobs),
+      static_cast<unsigned long long>(CpuJobs),
+      static_cast<unsigned long long>(BackfillJobs),
+      static_cast<unsigned long long>(ChunkYields));
+  if (SloChecked)
+    T += formatString("slo: %.3f ms -> %llu violation(s)\n", SloMs,
+                      static_cast<unsigned long long>(SloViolations));
+  if (Validated)
+    T += formatString("validation: %llu failure(s)\n",
+                      static_cast<unsigned long long>(ValidationFailures));
+  return T;
+}
+
+std::string ServeReport::toCsv() const {
+  std::string C = "id,stream,workload,max_groups,class,state,placement,"
+                  "arrival_ms,queue_wait_ms,service_ms,e2e_ms\n";
+  for (const RequestRecord &R : Requests) {
+    if (R.Rejected) {
+      C += formatString("%llu,%d,%s,%llu,%s,rejected,,%.6f,,,\n",
+                        static_cast<unsigned long long>(R.Id), R.Stream,
+                        R.Workload.c_str(),
+                        static_cast<unsigned long long>(R.MaxGroups),
+                        R.Large ? "large" : "small",
+                        (R.ArrivalAt - TimePoint()).toMillis());
+      continue;
+    }
+    C += formatString("%llu,%d,%s,%llu,%s,done,%s,%.6f,%.6f,%.6f,%.6f\n",
+                      static_cast<unsigned long long>(R.Id), R.Stream,
+                      R.Workload.c_str(),
+                      static_cast<unsigned long long>(R.MaxGroups),
+                      R.Large ? "large" : "small", R.Placement.c_str(),
+                      (R.ArrivalAt - TimePoint()).toMillis(),
+                      R.queueWaitMs(), R.serviceMs(), R.e2eMs());
+  }
+  return C;
+}

@@ -1,0 +1,72 @@
+//===- serve/Policy.h - Multi-tenant scheduling policies --------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable dispatch policies of the serving layer. FluidiCL (CGO
+/// 2014) gives one application the whole CPU+GPU pair; once many client
+/// streams contend for the same two devices the scheduler becomes the
+/// dominant design problem (EngineCL, Soldado et al.). Three policies span
+/// the design space:
+///
+///  * FifoExclusive - the implicit status quo: the head-of-line job gets
+///    the whole device pair (cooperative execution), everyone else waits.
+///  * DeviceAffine  - small jobs are pinned to the CPU and large jobs to
+///    the GPU (size threshold in work-groups), so one long job cannot
+///    block the other device; no job ever spans both devices.
+///  * FluidicCorun  - the head-of-line job runs cooperatively across the
+///    pair, and short jobs backfill the CPU in the yield windows between
+///    the cooperative run's CPU subkernel chunks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_SERVE_POLICY_H
+#define FCL_SERVE_POLICY_H
+
+#include <string>
+
+namespace fcl {
+namespace serve {
+
+enum class Policy {
+  FifoExclusive,
+  DeviceAffine,
+  FluidicCorun,
+};
+
+/// Parses a --policy spelling ("fifo", "affine", "corun"); returns false
+/// for unknown names.
+inline bool parsePolicy(const std::string &Name, Policy &Out) {
+  if (Name == "fifo" || Name == "fifo-exclusive") {
+    Out = Policy::FifoExclusive;
+    return true;
+  }
+  if (Name == "affine" || Name == "device-affine") {
+    Out = Policy::DeviceAffine;
+    return true;
+  }
+  if (Name == "corun" || Name == "fluidic-corun") {
+    Out = Policy::FluidicCorun;
+    return true;
+  }
+  return false;
+}
+
+inline const char *policyName(Policy P) {
+  switch (P) {
+  case Policy::FifoExclusive:
+    return "fifo";
+  case Policy::DeviceAffine:
+    return "affine";
+  case Policy::FluidicCorun:
+    return "corun";
+  }
+  return "?";
+}
+
+} // namespace serve
+} // namespace fcl
+
+#endif // FCL_SERVE_POLICY_H

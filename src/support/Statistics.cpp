@@ -8,6 +8,7 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -41,6 +42,21 @@ double fcl::stddev(const std::vector<double> &Values) {
   for (double V : Values)
     SqSum += (V - M) * (V - M);
   return std::sqrt(SqSum / static_cast<double>(Values.size() - 1));
+}
+
+double fcl::percentile(const std::vector<double> &Values, double Pct) {
+  if (Values.empty())
+    return 0;
+  FCL_CHECK(Pct >= 0 && Pct <= 100, "percentile out of range");
+  std::vector<double> Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Pct == 0)
+    return Sorted.front();
+  // Nearest-rank: the smallest value with at least Pct% of the samples at
+  // or below it.
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Pct / 100.0 * static_cast<double>(Sorted.size())));
+  return Sorted[Rank - 1];
 }
 
 void Accumulator::add(double Value) {

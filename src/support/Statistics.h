@@ -29,6 +29,11 @@ double geomean(const std::vector<double> &Values);
 /// Sample standard deviation; 0 when fewer than two values.
 double stddev(const std::vector<double> &Values);
 
+/// Nearest-rank percentile of \p Values (copied and sorted internally);
+/// \p Pct in [0, 100]. 0 for an empty input. percentile(V, 0) is the min
+/// and percentile(V, 100) the max.
+double percentile(const std::vector<double> &Values, double Pct);
+
 /// Incremental accumulator for min/max/mean over a stream of samples.
 class Accumulator {
 public:

@@ -78,6 +78,62 @@ TEST(ChunkControllerTest, PercentCapsAtHundred) {
   EXPECT_LE(C.currentPct(), 100.0);
 }
 
+TEST(ChunkControllerTest, TailClampBeatsComputeUnitFloor) {
+  // The compute-unit floor never manufactures work: when fewer groups
+  // remain than compute units, the tail chunk is exactly what is left.
+  ChunkController C(1000, 8, 2.0, 2.0);
+  EXPECT_EQ(C.nextChunk(7), 7u);
+  EXPECT_EQ(C.nextChunk(1), 1u);
+}
+
+TEST(ChunkControllerTest, DescendingWalkConsumesExactlyTotal) {
+  // Walk a whole partition down to zero the way KernelExec does, growing
+  // the chunk after every subkernel; the chunks must sum to the total with
+  // the final chunk clamped to the remainder, never overshooting.
+  ChunkController C(1000, 8, 3.0, 5.0);
+  uint64_t Remaining = 1000, Consumed = 0;
+  int Subkernels = 0;
+  while (Remaining > 0) {
+    uint64_t Chunk = C.nextChunk(Remaining);
+    ASSERT_GT(Chunk, 0u);
+    ASSERT_LE(Chunk, Remaining);
+    // Report ever-improving times so the chunk keeps growing; the clamp
+    // must hold even while the target percentage still rises.
+    C.reportSubkernel(Chunk, Duration::nanoseconds(static_cast<int64_t>(
+                                 Chunk * (1000 - 10 * Subkernels))));
+    Consumed += Chunk;
+    Remaining -= Chunk;
+    ++Subkernels;
+  }
+  EXPECT_EQ(Consumed, 1000u);
+  EXPECT_GT(Subkernels, 1);
+  EXPECT_EQ(C.nextChunk(0), 0u);
+}
+
+TEST(ChunkControllerTest, ZeroStepNeverGrowsOrCountsSteps) {
+  // StepPct = 0 is the fixed-chunk configuration (--step=0): improving
+  // reports must neither change the percentage nor count growth steps.
+  ChunkController C(1000, 8, 5.0, 0.0);
+  EXPECT_FALSE(C.stillGrowing());
+  for (int I = 1; I <= 4; ++I) {
+    C.reportSubkernel(50, Duration::microseconds(1000 / I));
+    EXPECT_DOUBLE_EQ(C.currentPct(), 5.0);
+    EXPECT_EQ(C.nextChunk(1000), 50u);
+  }
+  EXPECT_EQ(C.growthSteps(), 0u);
+}
+
+TEST(ChunkControllerTest, GrowthStepsCountedUntilSettled) {
+  ChunkController C(1000, 8, 2.0, 2.0);
+  EXPECT_EQ(C.growthSteps(), 0u);
+  C.reportSubkernel(20, Duration::microseconds(2000)); // 100 us/wg.
+  C.reportSubkernel(40, Duration::microseconds(3200)); // 80 us/wg: grows.
+  EXPECT_EQ(C.growthSteps(), 2u);
+  C.reportSubkernel(60, Duration::microseconds(9000)); // 150 us/wg: stop.
+  EXPECT_EQ(C.growthSteps(), 2u);
+  EXPECT_FALSE(C.stillGrowing());
+}
+
 TEST(ChunkControllerDeathTest, RejectsBadParameters) {
   EXPECT_DEATH(ChunkController(0, 8, 2, 2), "empty");
   EXPECT_DEATH(ChunkController(10, 0, 2, 2), "units");

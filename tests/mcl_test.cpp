@@ -130,6 +130,36 @@ TEST(QueueTest, CommandsExecuteInOrder) {
   EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
 }
 
+// Regression test for callback re-entrancy: a callback running on one
+// queue enqueues onto another stream's queue (and back onto its own) while
+// both queues are mid-pump. The serving layer does exactly this - job
+// completion callbacks dispatch the next job onto other queues - so the
+// interleaving must neither drop nor reorder work, and enqueues onto a
+// busy queue must park in Pending rather than recurse.
+TEST(QueueTest, CallbackMayEnqueueOntoOtherQueuesMidPump) {
+  Context Ctx;
+  auto QGpu = Ctx.createQueue(Ctx.gpu(), "stream-a");
+  auto QCpu = Ctx.createQueue(Ctx.cpu(), "stream-b");
+  std::vector<std::string> Order;
+  QGpu->enqueueCallback([&] {
+    Order.push_back("a1");
+    // Cross-queue enqueue while this queue is executing.
+    QCpu->enqueueCallback([&] {
+      Order.push_back("b1");
+      // And from that stream back onto the first queue.
+      QGpu->enqueueCallback([&] { Order.push_back("a3"); });
+    });
+    // Same-queue enqueue from inside the running callback must park in
+    // Pending and run after this callback completes.
+    QGpu->enqueueCallback([&] { Order.push_back("a2"); });
+  });
+  Ctx.simulator().run();
+  EXPECT_TRUE(QGpu->idle());
+  EXPECT_TRUE(QCpu->idle());
+  EXPECT_EQ(Order,
+            (std::vector<std::string>{"a1", "b1", "a2", "a3"}));
+}
+
 TEST(QueueTest, GpuWriteTimingMatchesPcieModel) {
   Context Ctx;
   auto Queue = Ctx.createQueue(Ctx.gpu());

@@ -60,9 +60,10 @@ int runFixtureSweep() {
   return Mismatches;
 }
 
-/// Replays the coverage suite functionally under one runtime; returns the
-/// number of failures (failed validation or failing diagnostics).
-int runCoverageUnder(const std::string &Name) {
+/// Replays the coverage suite functionally under one runtime on the given
+/// machine; returns the number of failures (failed validation or failing
+/// diagnostics).
+int runCoverageUnder(const std::string &Name, const hw::Machine &M) {
   int Failures = 0;
   for (const work::Workload &W : check::coverageWorkloads()) {
     // A static partition splits every kernel blindly, which is unsound for
@@ -81,7 +82,7 @@ int runCoverageUnder(const std::string &Name) {
         continue;
       }
     }
-    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::Functional);
+    mcl::Context Ctx(M, mcl::ExecMode::Functional);
     work::RunResult Res;
     bool Failing = false;
     if (Name == "cpu") {
@@ -127,6 +128,9 @@ int main(int Argc, char **Argv) {
   Args.addFlag("fixtures", "run the analyzer self-test fixtures instead");
   Args.addFlag("no-runtimes", "skip the functional cross-runtime replay");
   Args.addOption("budget", "oracle probe budget in bytes", "1073741824");
+  Args.addOption("machine",
+                 std::string("simulated machine: ") + hw::machineNames(),
+                 "paper");
 
   if (!Args.parse(Argc - 1, Argv + 1)) {
     std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
@@ -136,6 +140,13 @@ int main(int Argc, char **Argv) {
   if (Args.helpRequested()) {
     std::printf("%s", Args.helpText().c_str());
     return 0;
+  }
+
+  hw::Machine M;
+  if (!hw::machineByName(Args.str("machine"), M)) {
+    std::fprintf(stderr, "error: unknown --machine '%s' (expected %s)\n",
+                 Args.str("machine").c_str(), hw::machineNames());
+    return 1;
   }
 
   if (Args.flag("fixtures"))
@@ -156,7 +167,7 @@ int main(int Argc, char **Argv) {
   if (!Args.flag("no-runtimes")) {
     std::printf("\nfunctional cross-runtime replay:\n");
     for (const char *R : {"cpu", "gpu", "static", "socl-eager", "fluidicl"})
-      RuntimeFailures += runCoverageUnder(R);
+      RuntimeFailures += runCoverageUnder(R, M);
   }
 
   return (Sink.shouldFail() || AnyNotCovered || RuntimeFailures > 0) ? 1 : 0;

@@ -1,0 +1,165 @@
+//===- tools/fluidicl_serve.cpp - Multi-tenant serving driver --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the fcl::serve engine: N concurrent client streams submitting
+/// Polybench jobs over the simulated CPU+GPU pair under a chosen
+/// scheduling policy, and prints a throughput/latency report.
+///
+///   fluidicl_serve --streams=8 --policy=corun --arrival=poisson:120 \
+///       --duration=0.25 --slo-ms=20 --stats-json=serve.json
+///
+/// Exit status: 0 on success, 1 on usage errors, 2 when --slo-ms was given
+/// and any completed request missed the SLO, 3 on validation failures
+/// (--functional --validate).
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Engine.h"
+#include "support/ArgParser.h"
+#include "support/Format.h"
+#include "trace/Tracer.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace fcl;
+
+namespace {
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Contents;
+  return static_cast<bool>(Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("fluidicl_serve",
+                 "multi-tenant kernel-stream serving over the simulated "
+                 "CPU+GPU pair");
+  Args.addOption("streams", "number of concurrent client streams", "8");
+  Args.addOption("policy", "dispatch policy: fifo|affine|corun", "corun");
+  Args.addOption("arrival",
+                 "arrival process: poisson:<rps>|uniform:<rps>|"
+                 "closed:<think-ms> (per stream)",
+                 "poisson:120");
+  Args.addOption("duration", "admission window in seconds", "0.25");
+  Args.addOption("seed", "load-generator seed", "1");
+  Args.addOption("queue-depth", "admission queue bound (backpressure)",
+                 "64");
+  Args.addOption("threshold",
+                 "work-group count at/above which a job is 'large'", "64");
+  Args.addOption("mix", "job mix: mixed|small|large", "mixed");
+  Args.addOption("machine",
+                 std::string("simulated machine: ") + hw::machineNames(),
+                 "paper");
+  Args.addOption("slo-ms",
+                 "end-to-end SLO in ms; exit 2 on any violation (0 = off)",
+                 "0");
+  Args.addOption("stats-json", "write the serve report JSON here", "");
+  Args.addOption("requests-csv", "write per-request CSV here", "");
+  Args.addOption("trace", "write a Chrome/Perfetto trace here", "");
+  Args.addFlag("functional", "execute kernels for real");
+  Args.addFlag("validate",
+               "validate every job's results (needs --functional)");
+  if (!Args.parse(Argc - 1, Argv + 1)) {
+    std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
+                 Args.helpText().c_str());
+    return 1;
+  }
+  if (Args.helpRequested()) {
+    std::printf("%s", Args.helpText().c_str());
+    return 0;
+  }
+
+  serve::EngineConfig Cfg;
+  Cfg.Streams = static_cast<int>(Args.i64("streams"));
+  Cfg.Seed = static_cast<uint64_t>(Args.i64("seed"));
+  Cfg.QueueDepth = static_cast<int>(Args.i64("queue-depth"));
+  Cfg.LargeThreshold = static_cast<uint64_t>(Args.i64("threshold"));
+  Cfg.Horizon = Duration::seconds(Args.f64("duration"));
+  Cfg.SloMs = Args.f64("slo-ms");
+  Cfg.MachineName = Args.str("machine");
+  if (!hw::machineByName(Cfg.MachineName, Cfg.M)) {
+    std::fprintf(stderr, "error: unknown --machine '%s' (expected %s)\n",
+                 Cfg.MachineName.c_str(), hw::machineNames());
+    return 1;
+  }
+  if (!serve::parsePolicy(Args.str("policy"), Cfg.P)) {
+    std::fprintf(stderr,
+                 "error: unknown --policy '%s' (fifo|affine|corun)\n",
+                 Args.str("policy").c_str());
+    return 1;
+  }
+  std::string Err;
+  if (!serve::parseArrivalSpec(Args.str("arrival"), Cfg.Arrival, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!serve::parseMix(Args.str("mix"), Cfg.Mix)) {
+    std::fprintf(stderr, "error: unknown --mix '%s' (mixed|small|large)\n",
+                 Args.str("mix").c_str());
+    return 1;
+  }
+  if (Args.flag("validate") && !Args.flag("functional")) {
+    std::fprintf(stderr, "error: --validate requires --functional\n");
+    return 1;
+  }
+  Cfg.Mode = Args.flag("functional") ? mcl::ExecMode::Functional
+                                     : mcl::ExecMode::TimingOnly;
+  Cfg.Validate = Args.flag("validate");
+  if (Cfg.Streams <= 0 || Cfg.Horizon <= Duration::zero()) {
+    std::fprintf(stderr, "error: need positive --streams and --duration\n");
+    return 1;
+  }
+
+  trace::Tracer Tracer;
+  std::string TracePath = Args.str("trace");
+  if (!TracePath.empty())
+    Cfg.Tracer = &Tracer;
+
+  serve::Engine Engine(Cfg);
+  serve::ServeReport Report = Engine.run();
+
+  std::printf("%s", Report.toText().c_str());
+
+  std::string JsonPath = Args.str("stats-json");
+  if (!JsonPath.empty()) {
+    if (!writeFile(JsonPath, Report.toJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("report JSON written to %s\n", JsonPath.c_str());
+  }
+  std::string CsvPath = Args.str("requests-csv");
+  if (!CsvPath.empty()) {
+    if (!writeFile(CsvPath, Report.toCsv())) {
+      std::fprintf(stderr, "error: cannot write %s\n", CsvPath.c_str());
+      return 1;
+    }
+    std::printf("request CSV written to %s\n", CsvPath.c_str());
+  }
+  if (!TracePath.empty() && Tracer.writeChromeTrace(TracePath))
+    std::printf("trace written to %s\n", TracePath.c_str());
+
+  if (Report.Validated && Report.ValidationFailures > 0) {
+    std::fprintf(stderr, "FAIL: %llu job(s) produced wrong results\n",
+                 static_cast<unsigned long long>(Report.ValidationFailures));
+    return 3;
+  }
+  if (Report.SloChecked && Report.SloViolations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu request(s) exceeded the %.3f ms SLO\n",
+                 static_cast<unsigned long long>(Report.SloViolations),
+                 Report.SloMs);
+    return 2;
+  }
+  return 0;
+}

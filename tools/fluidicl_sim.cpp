@@ -192,6 +192,9 @@ int main(int Argc, char **Argv) {
   Args.addFlag("profiling", "enable online kernel-variant profiling");
   Args.addOption("cpu-load", "external CPU slowdown factor", "1");
   Args.addOption("gpu-load", "external GPU slowdown factor", "1");
+  Args.addOption("machine",
+                 std::string("simulated machine: ") + hw::machineNames(),
+                 "paper");
   Args.addFlag("functional", "execute kernels for real and validate");
   Args.addOption("check",
                  "fluidic-safety checking: off|warn|fail (arms the access "
@@ -216,7 +219,11 @@ int main(int Argc, char **Argv) {
   }
 
   ToolConfig Cfg;
-  Cfg.M = hw::paperMachine();
+  if (!hw::machineByName(Args.str("machine"), Cfg.M)) {
+    std::fprintf(stderr, "error: unknown --machine '%s' (expected %s)\n",
+                 Args.str("machine").c_str(), hw::machineNames());
+    return 1;
+  }
   Cfg.M.CpuLoadFactor = Args.f64("cpu-load");
   Cfg.M.GpuLoadFactor = Args.f64("gpu-load");
   Cfg.Mode = Args.flag("functional") ? mcl::ExecMode::Functional

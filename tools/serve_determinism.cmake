@@ -1,0 +1,37 @@
+# Determinism gate for fluidicl_serve: two runs with identical seed and
+# configuration must produce byte-identical report JSON. Invoked by ctest
+# as
+#
+#   cmake -DTOOL=<fluidicl_serve> -DOUT_DIR=<scratch dir> -P serve_determinism.cmake
+#
+# and fails (FATAL_ERROR) when either run exits non-zero or the two JSON
+# documents differ.
+
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "serve_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ARGS --streams=8 --policy=corun --arrival=poisson:400 --duration=0.1
+         --seed=7 --slo-ms=0)
+
+foreach(RUN a b)
+  execute_process(
+    COMMAND "${TOOL}" ${ARGS} "--stats-json=${OUT_DIR}/serve-${RUN}.json"
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "fluidicl_serve run '${RUN}' exited with ${RC}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT_DIR}/serve-a.json" "${OUT_DIR}/serve-b.json"
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+          "same-seed serve runs produced different JSON "
+          "(${OUT_DIR}/serve-a.json vs ${OUT_DIR}/serve-b.json)")
+endif()
+message(STATUS "same-seed serve reports are byte-identical")
