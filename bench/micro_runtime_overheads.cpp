@@ -4,10 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// google-benchmark microbenchmarks for the runtime substrate itself (an
-/// extension beyond the paper's tables): discrete-event throughput, queue
-/// command overhead, flattened-ID math, slice computation, the functional
-/// merge kernel, and a full cooperative kernel execution.
+/// \file
+/// Microbenchmarks for the runtime substrate itself (an extension beyond
+/// the paper's tables): discrete-event throughput, queue command overhead,
+/// flattened-ID math, slice computation, the functional merge kernel, and
+/// a full cooperative kernel execution. Measured through fcl::prof's
+/// wall clock (best-of-N over fixed iteration batches) and emitted as a
+/// BENCH_micro_overheads.json host-performance report, gated like the
+/// fluidicl_bench scenarios by scripts/bench_check.py.
+///
+///   micro_runtime_overheads [--repeat=3] [--out=BENCH_micro_overheads.json]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,96 +21,191 @@
 #include "kern/NDRange.h"
 #include "kern/Registry.h"
 #include "mcl/CommandQueue.h"
+#include "prof/BenchReport.h"
+#include "prof/Profiler.h"
 #include "sim/Simulator.h"
+#include "support/ArgParser.h"
 #include "work/Driver.h"
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
 using namespace fcl;
 
-static void BM_SimulatorEventDispatch(benchmark::State &State) {
-  for (auto _ : State) {
-    sim::Simulator Sim;
-    for (int I = 0; I < 1024; ++I)
-      Sim.scheduleAfter(Duration::nanoseconds(I), [] {});
-    Sim.run();
-  }
-  State.SetItemsProcessed(State.iterations() * 1024);
-}
-BENCHMARK(BM_SimulatorEventDispatch);
+namespace {
 
-static void BM_FlattenUnflattenRoundTrip(benchmark::State &State) {
+/// Keeps the optimizer from discarding a computed value.
+template <typename T> inline void doNotOptimize(T const &Value) {
+  asm volatile("" : : "r,m"(Value) : "memory");
+}
+
+struct Micro {
+  const char *Name;     // metric prefix, e.g. "sim_event_dispatch"
+  uint64_t ItemsPerRun; // items processed by one Fn() call
+  int Runs;             // Fn() calls per repeat (averaged)
+  std::function<void()> Fn;
+};
+
+void benchSimulatorEventDispatch(std::vector<Micro> &Out) {
+  Out.push_back({"sim_event_dispatch", 1024, 64, [] {
+                   FCL_PROF_SCOPE("micro.sim_event_dispatch");
+                   sim::Simulator Sim;
+                   for (int I = 0; I < 1024; ++I)
+                     Sim.scheduleAfter(Duration::nanoseconds(I), [] {});
+                   Sim.run();
+                 }});
+}
+
+void benchFlattenUnflatten(std::vector<Micro> &Out) {
   kern::Dim3 Groups{64, 32, 4};
   uint64_t Total = Groups.product();
-  uint64_t Sum = 0;
-  for (auto _ : State) {
-    for (uint64_t Flat = 0; Flat < Total; ++Flat) {
-      kern::Dim3 Id = kern::unflattenGroupId(Flat, Groups);
-      Sum += kern::flattenGroupId(Id, Groups);
-    }
-  }
-  benchmark::DoNotOptimize(Sum);
-  State.SetItemsProcessed(State.iterations() * Total);
+  Out.push_back({"flatten_unflatten", Total, 16, [Groups, Total] {
+                   FCL_PROF_SCOPE("micro.flatten_unflatten");
+                   uint64_t Sum = 0;
+                   for (uint64_t Flat = 0; Flat < Total; ++Flat) {
+                     kern::Dim3 Id = kern::unflattenGroupId(Flat, Groups);
+                     Sum += kern::flattenGroupId(Id, Groups);
+                   }
+                   doNotOptimize(Sum);
+                 }});
 }
-BENCHMARK(BM_FlattenUnflattenRoundTrip);
 
-static void BM_SliceComputation(benchmark::State &State) {
+void benchSliceComputation(std::vector<Micro> &Out) {
   kern::NDRange Range = kern::NDRange::of2D(2048, 2048, 32, 8);
   uint64_t Total = Range.totalGroups();
-  for (auto _ : State) {
-    for (uint64_t Lo = 0; Lo + 128 < Total; Lo += 997)
-      benchmark::DoNotOptimize(kern::computeSlice(Range, Lo, Lo + 128));
-  }
+  uint64_t Slices = 0;
+  for (uint64_t Lo = 0; Lo + 128 < Total; Lo += 997)
+    ++Slices;
+  Out.push_back({"slice_computation", Slices, 32, [Range, Total] {
+                   FCL_PROF_SCOPE("micro.slice_computation");
+                   for (uint64_t Lo = 0; Lo + 128 < Total; Lo += 997)
+                     doNotOptimize(kern::computeSlice(Range, Lo, Lo + 128));
+                 }});
 }
-BENCHMARK(BM_SliceComputation);
 
-static void BM_QueueWriteCommands(benchmark::State &State) {
-  for (auto _ : State) {
-    mcl::Context Ctx(hw::paperMachine(), mcl::ExecMode::TimingOnly);
-    auto Queue = Ctx.createQueue(Ctx.gpu());
-    auto Buf = Ctx.createBuffer(Ctx.gpu(), 4096);
-    for (int I = 0; I < 256; ++I)
-      Queue->enqueueWrite(*Buf, nullptr, 4096);
-    Queue->finish();
-  }
-  State.SetItemsProcessed(State.iterations() * 256);
+void benchQueueWriteCommands(std::vector<Micro> &Out) {
+  Out.push_back({"queue_write_commands", 256, 16, [] {
+                   FCL_PROF_SCOPE("micro.queue_write_commands");
+                   mcl::Context Ctx(hw::paperMachine(),
+                                    mcl::ExecMode::TimingOnly);
+                   auto Queue = Ctx.createQueue(Ctx.gpu());
+                   auto Buf = Ctx.createBuffer(Ctx.gpu(), 4096);
+                   for (int I = 0; I < 256; ++I)
+                     Queue->enqueueWrite(*Buf, nullptr, 4096);
+                   Queue->finish();
+                 }});
 }
-BENCHMARK(BM_QueueWriteCommands);
 
-static void BM_FunctionalMergeKernel(benchmark::State &State) {
+void benchFunctionalMergeKernel(std::vector<Micro> &Out) {
   const uint64_t Bytes = 1 << 20;
-  std::vector<std::byte> Cpu(Bytes, std::byte{1});
-  std::vector<std::byte> Gpu(Bytes, std::byte{0});
-  std::vector<std::byte> Orig(Bytes, std::byte{0});
-  const kern::KernelInfo &Merge =
-      kern::Registry::builtin().get("md_merge_kernel");
+  auto Cpu = std::make_shared<std::vector<std::byte>>(Bytes, std::byte{1});
+  auto Gpu = std::make_shared<std::vector<std::byte>>(Bytes, std::byte{0});
+  auto Orig = std::make_shared<std::vector<std::byte>>(Bytes, std::byte{0});
   uint64_t Items = Bytes / kern::MergeChunkBytes;
   kern::NDRange Range = kern::NDRange::of1D(Items, 64);
-  kern::ArgsView Args(std::vector<kern::ArgValue>{
-      kern::ArgValue::buffer(Cpu.data(), Bytes),
-      kern::ArgValue::buffer(Gpu.data(), Bytes),
-      kern::ArgValue::buffer(Orig.data(), Bytes),
-      kern::ArgValue::scalarInt(static_cast<int64_t>(Bytes)),
-      kern::ArgValue::scalarInt(4)});
-  for (auto _ : State) {
-    kern::Dim3 Groups = Range.numGroups();
-    for (uint64_t Flat = 0; Flat < Range.totalGroups(); ++Flat)
-      kern::executeWorkGroup(Merge, Range,
-                             kern::unflattenGroupId(Flat, Groups), Args, 0,
-                             Range.itemsPerGroup(), nullptr);
-  }
-  State.SetBytesProcessed(static_cast<int64_t>(State.iterations() * Bytes));
+  Out.push_back(
+      {"functional_merge_kernel", Bytes, 8, [=] {
+         FCL_PROF_SCOPE("micro.functional_merge_kernel");
+         const kern::KernelInfo &Merge =
+             kern::Registry::builtin().get("md_merge_kernel");
+         kern::ArgsView Args(std::vector<kern::ArgValue>{
+             kern::ArgValue::buffer(Cpu->data(), Bytes),
+             kern::ArgValue::buffer(Gpu->data(), Bytes),
+             kern::ArgValue::buffer(Orig->data(), Bytes),
+             kern::ArgValue::scalarInt(static_cast<int64_t>(Bytes)),
+             kern::ArgValue::scalarInt(4)});
+         kern::Dim3 Groups = Range.numGroups();
+         for (uint64_t Flat = 0; Flat < Range.totalGroups(); ++Flat)
+           kern::executeWorkGroup(Merge, Range,
+                                  kern::unflattenGroupId(Flat, Groups), Args,
+                                  0, Range.itemsPerGroup(), nullptr);
+       }});
 }
-BENCHMARK(BM_FunctionalMergeKernel);
 
-static void BM_CooperativeKernelTimingOnly(benchmark::State &State) {
-  work::Workload W = work::makeSyrk(512, 512);
-  for (auto _ : State) {
-    work::RunConfig C;
-    benchmark::DoNotOptimize(
-        work::timeUnder(work::RuntimeKind::FluidiCL, W, C));
-  }
+void benchCooperativeKernel(std::vector<Micro> &Out) {
+  auto W = std::make_shared<work::Workload>(work::makeSyrk(512, 512));
+  Out.push_back({"cooperative_kernel_timing_only", 1, 2, [W] {
+                   FCL_PROF_SCOPE("micro.cooperative_kernel");
+                   work::RunConfig C;
+                   doNotOptimize(
+                       work::timeUnder(work::RuntimeKind::FluidiCL, *W, C));
+                 }});
 }
-BENCHMARK(BM_CooperativeKernelTimingOnly);
 
-BENCHMARK_MAIN();
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("micro_runtime_overheads",
+                 "runtime-substrate microbenchmarks (BENCH_micro_overheads"
+                 ".json)");
+  Args.addOption("repeat", "best-of-N repeats per benchmark", "3");
+  Args.addOption("out", "output report path",
+                 "BENCH_micro_overheads.json");
+  if (!Args.parse(Argc - 1, Argv + 1)) {
+    std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
+                 Args.helpText().c_str());
+    return 1;
+  }
+  if (Args.helpRequested()) {
+    std::printf("%s", Args.helpText().c_str());
+    return 0;
+  }
+  int Repeat = std::max<int>(1, static_cast<int>(Args.i64("repeat")));
+
+  std::vector<Micro> Micros;
+  benchSimulatorEventDispatch(Micros);
+  benchFlattenUnflatten(Micros);
+  benchSliceComputation(Micros);
+  benchQueueWriteCommands(Micros);
+  benchFunctionalMergeKernel(Micros);
+  benchCooperativeKernel(Micros);
+
+  prof::BenchReport Rep;
+  Rep.Name = "micro_overheads";
+  Rep.Suite = "micro";
+  Rep.Meta["repeat"] = std::to_string(Repeat);
+
+  // Profile every batch (the per-micro FCL_PROF_SCOPEs feed the report's
+  // profile section); the scope cost is identical across batches, so
+  // best-of-N comparisons between runs stay apples-to-apples.
+  prof::Profiler &Prof = prof::Profiler::instance();
+  Prof.reset();
+  Prof.setEnabled(true);
+
+  std::printf("%-32s %8s %14s %14s\n", "benchmark", "runs", "ns/op",
+              "items/s");
+  for (const Micro &M : Micros) {
+    double BestNs = std::numeric_limits<double>::infinity();
+    for (int R = 0; R < Repeat; ++R) {
+      int64_t Start = prof::wallNowNs();
+      for (int I = 0; I < M.Runs; ++I)
+        M.Fn();
+      double Ns = static_cast<double>(prof::wallNowNs() - Start) /
+                  static_cast<double>(M.Runs);
+      BestNs = std::min(BestNs, Ns);
+    }
+    double NsPerOp = BestNs / static_cast<double>(M.ItemsPerRun);
+    double ItemsPerSec =
+        NsPerOp > 0 ? 1e9 / NsPerOp : 0.0;
+    Rep.Metrics[std::string(M.Name) + "_ns_per_op"] = NsPerOp;
+    Rep.Metrics[std::string(M.Name) + "_items_per_sec"] = ItemsPerSec;
+    std::printf("%-32s %8d %14.1f %14.0f\n", M.Name, M.Runs * Repeat,
+                NsPerOp, ItemsPerSec);
+  }
+
+  Prof.setEnabled(false);
+  Rep.attachProfile(Prof.snapshot(), /*N=*/16);
+  Rep.PeakRss = prof::peakRssBytes();
+
+  std::string Out = Args.str("out");
+  if (!Rep.write(Out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  std::printf("report written to %s\n", Out.c_str());
+  return 0;
+}

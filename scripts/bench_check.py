@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Trend gate for the fluidicl_bench host-performance reports.
+
+Validates BENCH_*.json files (schema "fcl-bench-report-v1") and diffs
+their metrics against the checked-in baselines under bench/baselines/,
+failing on regressions beyond a threshold. Used two ways:
+
+  # CI / local trend gate (Release build, quiet machine):
+  scripts/bench_check.py --dir bench-out
+
+  # Schema-only validation (safe under parallel ctest, where wall-clock
+  # numbers are meaningless):
+  scripts/bench_check.py --dir bench-out --schema-only
+
+  # Refresh the baselines after an intentional perf change:
+  scripts/bench_check.py --dir bench-out --update
+
+Metric direction is inferred from its name: "*_per_sec" / "*_rps" are
+higher-better; "*_sec", "*_ms", "*_ns_per_op" and "overhead_pct" are
+lower-better; anything else is informational (compared for presence
+only). "overhead_pct" is additionally gated at an absolute ceiling
+(profiler overhead must stay below 5 points, per docs/OBSERVABILITY.md).
+A baseline may carry a "gate" object overriding the relative threshold
+per metric, e.g. {"gate": {"sim_events_per_sec": 0.40}}.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "fcl-bench-report-v1"
+DEFAULT_THRESHOLD = 0.25  # 25% relative regression
+OVERHEAD_PCT_CEILING = 5.0  # absolute points, ISSUE acceptance gate
+
+HIGHER_BETTER_SUFFIXES = ("_per_sec", "_rps")
+LOWER_BETTER_SUFFIXES = ("_sec", "_ms", "_ns_per_op")
+LOWER_BETTER_NAMES = ("overhead_pct",)
+
+
+def direction(metric):
+    """Returns 'higher', 'lower' or None (informational)."""
+    if metric in LOWER_BETTER_NAMES:
+        return "lower"
+    for s in HIGHER_BETTER_SUFFIXES:
+        if metric.endswith(s):
+            return "higher"
+    for s in LOWER_BETTER_SUFFIXES:
+        if metric.endswith(s):
+            return "lower"
+    return None
+
+
+def validate(path, doc):
+    errs = []
+    if doc.get("schema") != SCHEMA:
+        errs.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key, typ in (("name", str), ("suite", str), ("meta", dict),
+                     ("metrics", dict), ("peak_rss_bytes", (int, float)),
+                     ("profile", list), ("counters", dict)):
+        if key not in doc:
+            errs.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], typ):
+            errs.append(f"key {key!r} has type {type(doc[key]).__name__}")
+    for m, v in doc.get("metrics", {}).items():
+        if not isinstance(v, (int, float)):
+            errs.append(f"metric {m!r} is not a number")
+    for p in doc.get("profile", []):
+        for key in ("path", "count", "inclusive_ms", "exclusive_ms"):
+            if key not in p:
+                errs.append(f"profile entry missing {key!r}")
+                break
+    base = os.path.basename(path)
+    expect = f"BENCH_{doc.get('name', '?')}.json"
+    if base != expect:
+        errs.append(f"file name {base!r} does not match name (want {expect!r})")
+    return errs
+
+
+def compare(name, current, baseline, threshold):
+    """Yields (metric, message) regression tuples."""
+    gates = baseline.get("gate", {})
+    for metric, base in sorted(baseline.get("metrics", {}).items()):
+        if metric not in current.get("metrics", {}):
+            yield metric, "present in baseline but missing from report"
+            continue
+        cur = current["metrics"][metric]
+        if metric == "overhead_pct":
+            ceiling = gates.get(metric, OVERHEAD_PCT_CEILING)
+            if cur > ceiling:
+                yield metric, (f"profiler overhead {cur:.2f}% exceeds the "
+                               f"{ceiling:.2f}% ceiling")
+            continue
+        d = direction(metric)
+        if d is None or base == 0:
+            continue
+        t = gates.get(metric, threshold)
+        rel = (cur - base) / abs(base)
+        if d == "higher" and rel < -t:
+            yield metric, (f"dropped {-rel * 100:.1f}% "
+                           f"({base:g} -> {cur:g}, limit {t * 100:.0f}%)")
+        elif d == "lower" and rel > t:
+            yield metric, (f"grew {rel * 100:.1f}% "
+                           f"({base:g} -> {cur:g}, limit {t * 100:.0f}%)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", default=".",
+                    help="directory holding BENCH_*.json reports")
+    ap.add_argument("--baselines", default=None,
+                    help="baseline directory (default: bench/baselines/ "
+                         "next to this script)")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="relative regression threshold (default 0.25)")
+    ap.add_argument("--schema-only", action="store_true",
+                    help="validate schemas, skip the baseline comparison")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baselines with the current reports "
+                         "(preserving any per-metric gate overrides)")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    basedir = args.baselines or os.path.join(root, "bench", "baselines")
+
+    reports = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not reports:
+        print(f"bench_check: no BENCH_*.json under {args.dir}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for path in reports:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: unreadable ({e})", file=sys.stderr)
+            failed = True
+            continue
+        errs = validate(path, doc)
+        if errs:
+            failed = True
+            for e in errs:
+                print(f"FAIL {path}: {e}", file=sys.stderr)
+            continue
+        print(f"ok   {path}: schema valid "
+              f"({len(doc['metrics'])} metrics, "
+              f"{len(doc['profile'])} profile phases)")
+
+        base_path = os.path.join(basedir, os.path.basename(path))
+        if args.update:
+            gate = {}
+            if os.path.exists(base_path):
+                with open(base_path) as f:
+                    gate = json.load(f).get("gate", {})
+            if gate:
+                doc["gate"] = gate
+            os.makedirs(basedir, exist_ok=True)
+            with open(base_path, "w") as f:
+                json.dump(doc, f, indent=1, sort_keys=True)
+                f.write("\n")
+            print(f"     baseline updated: {base_path}")
+            continue
+        if args.schema_only:
+            continue
+        if not os.path.exists(base_path):
+            print(f"FAIL {path}: no baseline at {base_path} "
+                  f"(run with --update to create it)", file=sys.stderr)
+            failed = True
+            continue
+        with open(base_path) as f:
+            baseline = json.load(f)
+        regressions = list(compare(doc["name"], doc, baseline,
+                                   args.threshold))
+        for metric, msg in regressions:
+            print(f"FAIL {path}: {metric} {msg}", file=sys.stderr)
+            failed = True
+        if not regressions:
+            print(f"     within {args.threshold * 100:.0f}% of baseline")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

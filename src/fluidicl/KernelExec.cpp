@@ -7,6 +7,7 @@
 #include "fluidicl/KernelExec.h"
 
 #include "kern/Registry.h"
+#include "prof/Profiler.h"
 #include "support/Error.h"
 #include "support/Log.h"
 
@@ -63,6 +64,7 @@ void KernelExec::run() {
 }
 
 void KernelExec::start(std::function<void()> Done) {
+  FCL_PROF_SCOPE("fcl.launch_setup");
   OnDone = std::move(Done);
   StartedAt = RT.Ctx.now();
 
@@ -144,6 +146,7 @@ void KernelExec::start(std::function<void()> Done) {
 // --- GPU side --------------------------------------------------------------
 
 void KernelExec::launchGpuKernel() {
+  FCL_PROF_SCOPE("fcl.gpu_launch");
   mcl::LaunchDesc Desc = buildDesc(Kernel, RT.Ctx.gpu(), /*ForGpu=*/true);
   if (CooperativeAllowed) {
     Desc.Abort.Kind = RT.Opts.AbortPolicy;
@@ -177,6 +180,7 @@ void KernelExec::gpuFinished(uint64_t ExecutedGroups) {
 }
 
 void KernelExec::enqueueMerges() {
+  FCL_PROF_SCOPE("fcl.merge");
   MergePhaseStarted = true;
   // Final-result accounting, fixed at the moment the merge set is chosen:
   // the GPU-visible boundary says which work-groups' final data the CPU
@@ -259,6 +263,7 @@ void KernelExec::mergesDone() {
 // --- CPU side ----------------------------------------------------------------
 
 void KernelExec::launchNextSubkernel() {
+  FCL_PROF_SCOPE("fcl.chunk_launch");
   if (GpuDone || CpuLow == 0)
     return;
   uint64_t Chunk = Chunks.nextChunk(CpuLow);
@@ -379,6 +384,7 @@ void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
 
 void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
                                       uint64_t End) {
+  FCL_PROF_SCOPE("fcl.hd_send");
   // If the GPU finished in the meantime the scratch buffers may be on
   // their way back to the pool; sending would be pointless anyway (the
   // GPU computed those work-groups itself).
@@ -456,6 +462,7 @@ void KernelExec::maybeContinueCpu() {
 // --- Completion ----------------------------------------------------------------
 
 void KernelExec::startDhStage() {
+  FCL_PROF_SCOPE("fcl.dh_read");
   if (CpuRanAll || Outs.empty()) {
     // Section 6.2/4.4: when the CPU executed everything the transfer is
     // unnecessary and skipped; location tracking already points at the CPU.

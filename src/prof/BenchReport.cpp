@@ -1,0 +1,94 @@
+//===- prof/BenchReport.cpp - Host benchmark reports ----------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prof/BenchReport.h"
+
+#include "support/Format.h"
+
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace fcl;
+using namespace fcl::prof;
+
+uint64_t fcl::prof::peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(Usage.ru_maxrss); // Bytes on macOS.
+#else
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // KiB on Linux.
+#endif
+#else
+  return 0;
+#endif
+}
+
+void BenchReport::attachProfile(const Snapshot &S, size_t N) {
+  Profile = S.topByExclusive(N);
+  Counters = S.Counters;
+}
+
+std::string BenchReport::toJson() const {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"fcl-bench-report-v1\",\n";
+  Out += formatString("  \"name\": \"%s\",\n", jsonEscape(Name).c_str());
+  Out += formatString("  \"suite\": \"%s\",\n", jsonEscape(Suite).c_str());
+  Out += "  \"meta\": {";
+  bool First = true;
+  for (const auto &[K, V] : Meta) {
+    Out += formatString("%s\n    \"%s\": \"%s\"", First ? "" : ",",
+                        jsonEscape(K).c_str(), jsonEscape(V).c_str());
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"metrics\": {";
+  First = true;
+  for (const auto &[K, V] : Metrics) {
+    Out += formatString("%s\n    \"%s\": %.9g", First ? "" : ",",
+                        jsonEscape(K).c_str(), V);
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += formatString("  \"peak_rss_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(PeakRss));
+  Out += "  \"profile\": [";
+  First = true;
+  for (const PhaseStats &P : Profile) {
+    Out += formatString(
+        "%s\n    {\"path\": \"%s\", \"count\": %llu, "
+        "\"inclusive_ms\": %.6f, \"exclusive_ms\": %.6f}",
+        First ? "" : ",", jsonEscape(P.Path).c_str(),
+        static_cast<unsigned long long>(P.Count), P.inclusiveMs(),
+        P.exclusiveMs());
+    First = false;
+  }
+  Out += First ? "],\n" : "\n  ],\n";
+  Out += "  \"counters\": {";
+  First = true;
+  for (const auto &[K, V] : Counters) {
+    Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
+                        jsonEscape(K).c_str(),
+                        static_cast<unsigned long long>(V));
+    First = false;
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+bool BenchReport::write(const std::string &Path) const {
+  std::ofstream F(Path, std::ios::binary);
+  if (!F)
+    return false;
+  F << toJson();
+  return static_cast<bool>(F);
+}

@@ -6,6 +6,7 @@
 
 #include "serve/Engine.h"
 
+#include "prof/Profiler.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -72,6 +73,7 @@ void Engine::sampleQueueDepth() {
 }
 
 void Engine::onArrival(Req *R) {
+  FCL_PROF_SCOPE("serve.admission");
   R->ArrivalAt = Ctx->now();
   ++Submitted;
   if (Ready.size() >= static_cast<size_t>(Cfg.QueueDepth)) {
@@ -115,6 +117,7 @@ Engine::Req *Engine::takeFirst(bool WantLarge) {
 }
 
 void Engine::dispatch() {
+  FCL_PROF_SCOPE("serve.dispatch");
   switch (Cfg.P) {
   case Policy::FifoExclusive:
     // Status quo: the head-of-line job gets the whole pair, strictly FIFO.
@@ -199,6 +202,7 @@ void Engine::setCorunCpuBusy(bool Busy) {
 }
 
 void Engine::onChunkBoundary(std::function<void()> Resume) {
+  FCL_PROF_SCOPE("serve.chunk_yield");
   ++ChunkYields;
   // The cooperative CPU side is now idle: between subkernel chunks it
   // holds no partial state, so the CPU can be lent out whole.
@@ -232,6 +236,7 @@ void Engine::drainResumes() {
 }
 
 void Engine::jobDone(Req *R) {
+  FCL_PROF_SCOPE("serve.callback");
   R->EndAt = Ctx->now();
   R->Done = true;
   ++CompletedN;
@@ -389,5 +394,13 @@ ServeReport Engine::finalize() {
   St.set("serve_throughput_rps", Rep.ThroughputRps);
   St.set("serve_gpu_util", Rep.GpuUtil);
   St.set("serve_cpu_util", Rep.CpuUtil);
+  // Event-queue health of the shared simulator (satellite of the profiler
+  // work: tombstone pressure is invisible in latency numbers until it
+  // degrades, so surface it in every serve report).
+  sim::Simulator &Sim = Ctx->simulator();
+  St.add("sim_events_executed", Sim.eventsExecuted());
+  St.add("sim_tombstone_skips", Sim.tombstoneSkips());
+  St.add("sim_compaction_runs", Sim.compactionRuns());
+  St.set("sim_pending_tombstones", static_cast<double>(Sim.pendingTombstones()));
   return Rep;
 }

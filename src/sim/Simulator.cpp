@@ -6,13 +6,35 @@
 
 #include "sim/Simulator.h"
 
+#include "prof/Profiler.h"
 #include "support/Error.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 using namespace fcl;
 using namespace fcl::sim;
+
+// Event-queue churn counters (wall-clock profiler view; the deterministic
+// member counters feed the stats registries instead). The hot path only
+// bumps plain members; flushProfCounters() publishes the deltas at
+// run-loop exit, keeping atomic traffic out of the per-event dispatch.
+static prof::Counter ProfScheduled("sim.events_scheduled");
+static prof::Counter ProfCancelled("sim.events_cancelled");
+static prof::Counter ProfExecuted("sim.events_executed");
+static prof::Counter ProfTombstoneSkips("sim.tombstone_skips");
+static prof::Counter ProfCompactions("sim.compaction_runs");
+
+void Simulator::flushProfCounters() {
+  ProfScheduled.add((NextSeq - 1) - LastProfFlush.Scheduled);
+  ProfCancelled.add(Cancelled - LastProfFlush.Cancelled);
+  ProfExecuted.add(Executed - LastProfFlush.Executed);
+  ProfTombstoneSkips.add(TombstoneSkips - LastProfFlush.TombstoneSkips);
+  ProfCompactions.add(CompactionRuns - LastProfFlush.CompactionRuns);
+  LastProfFlush = {NextSeq - 1, Cancelled, Executed, TombstoneSkips,
+                   CompactionRuns};
+}
 
 EventId Simulator::scheduleAt(TimePoint At, Callback Fn) {
   FCL_CHECK(At >= Now, "cannot schedule an event in the past");
@@ -46,6 +68,7 @@ Simulator::Callback Simulator::takeCallback(uint64_t Seq) {
   if (Live == 0) {
     CallbackBySeq.clear();
   } else if (CallbackBySeq.size() > 1024 && Live * 2 < CallbackBySeq.size()) {
+    ++CompactionRuns;
     std::erase_if(CallbackBySeq,
                   [](const SeqCallback &E) { return E.Fn == nullptr; });
   }
@@ -55,6 +78,7 @@ Simulator::Callback Simulator::takeCallback(uint64_t Seq) {
 bool Simulator::cancel(EventId Id) {
   if (!Id.valid())
     return false;
+  ++Cancelled;
   Callback Fn = takeCallback(Id.Seq);
   return Fn != nullptr;
 }
@@ -64,8 +88,10 @@ bool Simulator::step() {
     Entry Top = Queue.top();
     Queue.pop();
     Callback Fn = takeCallback(Top.Seq);
-    if (!Fn)
+    if (!Fn) {
+      ++TombstoneSkips;
       continue; // Cancelled.
+    }
     assert(Top.At >= Now && "event queue went backwards");
     Now = Top.At;
     ++Executed;
@@ -75,16 +101,49 @@ bool Simulator::step() {
   return false;
 }
 
+// The run loops open a "sim.run" profiler phase only when there is event
+// work to do (hostAdvance()-style calls hit these entry points thousands
+// of times per run with an empty or not-yet-due queue), and only on the
+// outermost entry: event callbacks routinely pump the loop again, and
+// scoping every re-entry would charge two timestamp reads per nesting
+// level for no extra information. Counter deltas flush on outermost exit.
+
 void Simulator::run() {
-  while (step()) {
+  if (Queue.empty())
+    return;
+  bool Outer = !InRunLoop;
+  InRunLoop = true;
+  {
+    std::optional<prof::ScopedPhase> Phase;
+    if (Outer)
+      Phase.emplace("sim.run");
+    while (step()) {
+    }
+  }
+  if (Outer) {
+    InRunLoop = false;
+    flushProfCounters();
   }
 }
 
 void Simulator::runUntil(TimePoint Deadline) {
   FCL_CHECK(Deadline >= Now, "deadline in the past");
-  while (!Queue.empty() && Queue.top().At <= Deadline) {
-    if (!step())
-      break;
+  if (!Queue.empty() && Queue.top().At <= Deadline) {
+    bool Outer = !InRunLoop;
+    InRunLoop = true;
+    {
+      std::optional<prof::ScopedPhase> Phase;
+      if (Outer)
+        Phase.emplace("sim.run");
+      while (!Queue.empty() && Queue.top().At <= Deadline) {
+        if (!step())
+          break;
+      }
+    }
+    if (Outer) {
+      InRunLoop = false;
+      flushProfCounters();
+    }
   }
   Now = Deadline;
 }
@@ -92,8 +151,25 @@ void Simulator::runUntil(TimePoint Deadline) {
 bool Simulator::runWhileNot(const std::function<bool()> &Pred) {
   if (Pred())
     return true;
-  while (step())
-    if (Pred())
-      return true;
-  return false;
+  if (Queue.empty())
+    return false;
+  bool Outer = !InRunLoop;
+  InRunLoop = true;
+  bool Satisfied = false;
+  {
+    std::optional<prof::ScopedPhase> Phase;
+    if (Outer)
+      Phase.emplace("sim.run");
+    while (step()) {
+      if (Pred()) {
+        Satisfied = true;
+        break;
+      }
+    }
+  }
+  if (Outer) {
+    InRunLoop = false;
+    flushProfCounters();
+  }
+  return Satisfied;
 }

@@ -86,6 +86,19 @@ public:
   /// Number of events currently pending (including cancelled tombstones).
   bool hasPending() const { return Live != 0; }
 
+  // --- Event-queue health (exported as fcl::stats gauges/counters so
+  // --- queue degradation is visible in run reports) ----------------------
+
+  /// Callback slots currently tombstoned (cancelled or already fired) but
+  /// not yet compacted out of the lookup vector.
+  uint64_t pendingTombstones() const { return CallbackBySeq.size() - Live; }
+
+  /// Queue pops that hit a cancelled entry and were skipped.
+  uint64_t tombstoneSkips() const { return TombstoneSkips; }
+
+  /// Times the callback vector was compacted to shed tombstones.
+  uint64_t compactionRuns() const { return CompactionRuns; }
+
 private:
   struct Entry {
     TimePoint At;
@@ -107,10 +120,31 @@ private:
 
   Callback takeCallback(uint64_t Seq);
 
+  /// Publishes the deltas of the plain member counters since the last flush
+  /// to the wall-clock profiler's churn counters. Called at run-loop exit so
+  /// the per-event path stays free of atomic operations.
+  void flushProfCounters();
+
   TimePoint Now;
   uint64_t NextSeq = 1;
   uint64_t Executed = 0;
   uint64_t Live = 0;
+  uint64_t Cancelled = 0;
+  uint64_t TombstoneSkips = 0;
+  uint64_t CompactionRuns = 0;
+  /// True while a run loop is active, so re-entrant pumping from event
+  /// callbacks skips the "sim.run" profiler phase and the counter flush.
+  bool InRunLoop = false;
+
+  /// Member-counter values as of the last flushProfCounters() call.
+  struct ProfFlushMark {
+    uint64_t Scheduled = 0;
+    uint64_t Cancelled = 0;
+    uint64_t Executed = 0;
+    uint64_t TombstoneSkips = 0;
+    uint64_t CompactionRuns = 0;
+  } LastProfFlush;
+
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> Queue;
   std::vector<SeqCallback> CallbackBySeq; // Sorted by insertion (ascending).
 };

@@ -6,6 +6,7 @@
 
 #include "stats/Report.h"
 
+#include "prof/Profiler.h"
 #include "support/Format.h"
 #include "trace/Tracer.h"
 
@@ -81,6 +82,7 @@ void RunReport::addUtilizationFromTracer(const trace::Tracer &T,
 }
 
 std::string RunReport::renderJson() const {
+  FCL_PROF_SCOPE("stats.render_json");
   std::string Out = "{\n";
   Out += "  \"schema\": \"fcl-run-report-v1\",\n";
   Out += formatString("  \"runtime\": \"%s\",\n",
@@ -229,6 +231,7 @@ void RunReport::appendCsvRows(CsvWriter &Csv) const {
 }
 
 bool RunReport::writeJson(const std::string &Path) const {
+  FCL_PROF_SCOPE("stats.write_json");
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)
     return false;

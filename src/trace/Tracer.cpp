@@ -9,14 +9,19 @@
 #include "support/Error.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
 using namespace fcl;
 using namespace fcl::trace;
 
+static prof::Counter ProfRecords("trace.records");
+
 void Tracer::record(std::string Lane, std::string Name, TimePoint Start,
                     TimePoint End, std::string Detail) {
+  FCL_PROF_SCOPE("trace.record");
+  ProfRecords.add();
   FCL_CHECK(End >= Start, "trace slice ends before it starts");
   TraceEvent E;
   E.Lane = std::move(Lane);
@@ -59,7 +64,23 @@ Duration Tracer::laneBusy(const std::string &Lane) const {
   return Busy;
 }
 
+void Tracer::annotateProfile(const prof::Snapshot &S) {
+  // Sample every track at the current end of the timeline: phase totals
+  // are whole-run aggregates, so one terminal sample per track renders as
+  // a flat value beside the lanes.
+  TimePoint At;
+  for (const TraceEvent &E : Events)
+    At = std::max(At, E.End);
+  for (const CounterSample &C : Counters)
+    At = std::max(At, C.At);
+  for (const prof::PhaseStats &P : S.Phases)
+    counter("prof " + P.Path + " self ms", At, P.exclusiveMs());
+  for (const auto &[Name, V] : S.Counters)
+    counter("prof counter " + Name, At, static_cast<double>(V));
+}
+
 std::string Tracer::renderChromeTrace() const {
+  FCL_PROF_SCOPE("trace.render");
   // Stable lane -> tid mapping in first-appearance order.
   std::map<std::string, int> LaneIds;
   std::vector<std::string> LaneOrder;

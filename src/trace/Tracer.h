@@ -18,6 +18,7 @@
 #ifndef FCL_TRACE_TRACER_H
 #define FCL_TRACE_TRACER_H
 
+#include "prof/Profiler.h"
 #include "support/SimTime.h"
 
 #include <cstdint>
@@ -57,6 +58,12 @@ public:
 
   /// Records one counter-track point.
   void counter(std::string Track, TimePoint At, double Value);
+
+  /// Folds the wall-clock profiler's phase totals into the trace as
+  /// Perfetto counter tracks ("prof <path> self ms" / "prof counter
+  /// <name>") sampled at the timeline's end, so host-side hotspots can be
+  /// read alongside the sim-time lanes. Call once, after the run.
+  void annotateProfile(const prof::Snapshot &S);
 
   const std::vector<TraceEvent> &events() const { return Events; }
   const std::vector<CounterSample> &counterSamples() const {

@@ -186,6 +186,43 @@ TEST(SimulatorTest, ManyCancellationsCompactWithoutLoss) {
   EXPECT_EQ(Ran, 1250);
 }
 
+TEST(SimulatorTest, TombstoneHealthCountersTrackCancellations) {
+  Simulator Sim;
+  EXPECT_EQ(Sim.pendingTombstones(), 0u);
+  EXPECT_EQ(Sim.tombstoneSkips(), 0u);
+  std::vector<EventId> Doomed;
+  for (int I = 0; I < 8; ++I) {
+    EventId Id = Sim.scheduleAfter(Duration::nanoseconds(I), [] {});
+    if (I % 2 == 1)
+      Doomed.push_back(Id);
+  }
+  for (EventId Id : Doomed)
+    EXPECT_TRUE(Sim.cancel(Id));
+  // Cancelled slots linger as tombstones until their queue entries pop.
+  EXPECT_EQ(Sim.pendingTombstones(), Doomed.size());
+  Sim.run();
+  // Every cancelled entry was popped and skipped; the vector was cleared
+  // once the last live callback fired.
+  EXPECT_EQ(Sim.tombstoneSkips(), Doomed.size());
+  EXPECT_EQ(Sim.pendingTombstones(), 0u);
+  EXPECT_EQ(Sim.eventsExecuted(), 4u);
+}
+
+TEST(SimulatorTest, CompactionRunsCountedUnderHeavyCancellation) {
+  Simulator Sim;
+  // Enough tombstones to cross the size > 1024 && Live * 2 < size
+  // compaction threshold while cancelling.
+  std::vector<EventId> Ids;
+  for (int I = 0; I < 4000; ++I)
+    Ids.push_back(Sim.scheduleAfter(Duration::nanoseconds(I), [] {}));
+  for (size_t I = 0; I < Ids.size(); I += 4)
+    for (size_t J = 0; J < 3 && I + J < Ids.size(); ++J)
+      EXPECT_TRUE(Sim.cancel(Ids[I + J]));
+  EXPECT_GE(Sim.compactionRuns(), 1u);
+  Sim.run();
+  EXPECT_EQ(Sim.eventsExecuted(), 1000u);
+}
+
 TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
   Simulator Sim;
   Sim.scheduleAfter(Duration::nanoseconds(100), [] {});

@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "prof/Profiler.h"
 #include "serve/Engine.h"
 #include "support/ArgParser.h"
 #include "support/Format.h"
@@ -67,6 +68,9 @@ int main(int Argc, char **Argv) {
   Args.addOption("requests-csv", "write per-request CSV here", "");
   Args.addOption("trace", "write a Chrome/Perfetto trace here", "");
   Args.addFlag("functional", "execute kernels for real");
+  Args.addFlag("prof",
+               "collect a wall-clock host profile and print the top "
+               "self-time phases (never affects the simulated results)");
   Args.addFlag("validate",
                "validate every job's results (needs --functional)");
   if (!Args.parse(Argc - 1, Argv + 1)) {
@@ -125,10 +129,22 @@ int main(int Argc, char **Argv) {
   if (!TracePath.empty())
     Cfg.Tracer = &Tracer;
 
+  bool Prof = Args.flag("prof");
+  if (Prof)
+    prof::Profiler::instance().setEnabled(true);
+
   serve::Engine Engine(Cfg);
   serve::ServeReport Report = Engine.run();
 
   std::printf("%s", Report.toText().c_str());
+
+  if (Prof) {
+    prof::Profiler::instance().setEnabled(false);
+    prof::Snapshot Snap = prof::Profiler::instance().snapshot();
+    std::printf("\n%s", Snap.renderText(/*TopN=*/10).c_str());
+    if (!TracePath.empty())
+      Tracer.annotateProfile(Snap);
+  }
 
   std::string JsonPath = Args.str("stats-json");
   if (!JsonPath.empty()) {

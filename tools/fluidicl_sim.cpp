@@ -18,6 +18,7 @@
 #include "check/Checker.h"
 #include "check/Fixtures.h"
 #include "fluidicl/Runtime.h"
+#include "prof/Profiler.h"
 #include "runtime/SingleDevice.h"
 #include "runtime/StaticPartition.h"
 #include "socl/SoclRuntime.h"
@@ -156,6 +157,8 @@ RunResult runOne(const std::string &Runtime, const Workload &W,
     Reports.back().printSummary();
 
   if (!Cfg.TracePath.empty()) {
+    if (prof::Profiler::instance().enabled())
+      Tracer.annotateProfile(prof::Profiler::instance().snapshot());
     if (Tracer.writeChromeTrace(Cfg.TracePath))
       std::printf("    trace written to %s (%zu slices, %zu counter "
                   "samples)\n",
@@ -205,6 +208,9 @@ int main(int Argc, char **Argv) {
                "(with --check=fail the run exits non-zero)");
   Args.addOption("trace", "write a Chrome trace JSON to this path", "");
   Args.addFlag("stats", "print per-run counter/utilization summaries");
+  Args.addFlag("prof",
+               "collect a wall-clock host profile and print the top "
+               "self-time phases (never affects the simulated results)");
   Args.addOption("stats-json", "write run reports as JSON to this path", "");
   Args.addOption("stats-csv", "write per-launch stats CSV to this path", "");
 
@@ -249,6 +255,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Cfg.FclOpts.Check = CheckPol;
+
+  if (Args.flag("prof"))
+    prof::Profiler::instance().setEnabled(true);
 
   std::vector<Workload> Loads =
       selectWorkloads(Args.str("workload"), Args.i64("size"));
@@ -324,6 +333,12 @@ int main(int Argc, char **Argv) {
     else
       std::fprintf(stderr, "could not write stats CSV to %s\n",
                    Cfg.StatsCsvPath.c_str());
+  }
+  if (Args.flag("prof")) {
+    prof::Profiler::instance().setEnabled(false);
+    std::printf(
+        "\n%s",
+        prof::Profiler::instance().snapshot().renderText(/*TopN=*/10).c_str());
   }
   if (OracleSink.shouldFail() || CheckFailed)
     std::fprintf(stderr,
