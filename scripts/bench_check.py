@@ -153,8 +153,11 @@ def main():
         if args.update:
             gate = {}
             if os.path.exists(base_path):
-                with open(base_path) as f:
-                    gate = json.load(f).get("gate", {})
+                try:
+                    with open(base_path) as f:
+                        gate = json.load(f).get("gate", {})
+                except (OSError, json.JSONDecodeError):
+                    pass  # unreadable old baseline: rewrite without a gate
             if gate:
                 doc["gate"] = gate
             os.makedirs(basedir, exist_ok=True)
@@ -166,12 +169,18 @@ def main():
         if args.schema_only:
             continue
         if not os.path.exists(base_path):
-            print(f"FAIL {path}: no baseline at {base_path} "
-                  f"(run with --update to create it)", file=sys.stderr)
+            print(f"FAIL {path}: missing baseline {base_path} "
+                  f"-- run with --update to create it", file=sys.stderr)
             failed = True
             continue
-        with open(base_path) as f:
-            baseline = json.load(f)
+        try:
+            with open(base_path) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: unreadable baseline {base_path} ({e}) "
+                  f"-- run with --update to recreate it", file=sys.stderr)
+            failed = True
+            continue
         regressions = list(compare(doc["name"], doc, baseline,
                                    args.threshold))
         for metric, msg in regressions:

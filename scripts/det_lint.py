@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Static determinism lint for the FluidiCL reproduction.
+
+The whole repo is built around one promise: same seed, same bytes. Every
+report, trace and stats file must be reproducible, which means the code
+that computes them must never read ambient nondeterminism. This lint
+scans the C++ sources for the hazard patterns that have historically
+broken that promise in simulators:
+
+  wall-clock       reading real time (chrono clocks, gettimeofday,
+                   clock_gettime, std::time) inside simulated/serving
+                   code -- simulated time must come from the event loop
+  rand             C/libc randomness (rand, srand, std::random_device)
+                   instead of the seeded fcl RNGs
+  thread-id        thread identity (std::this_thread::get_id,
+                   pthread_self, gettid) leaking into logic or output
+  unordered-container
+                   std::unordered_{map,set,multimap,multiset} anywhere:
+                   iteration order is implementation-defined and feeds
+                   straight into reports; this codebase uses std::map
+  pointer-key-map  pointer-valued map keys -- iteration order then
+                   depends on the allocator, so any serialized walk of
+                   the map is nondeterministic across runs
+
+Intentional uses are suppressed inline on the same or preceding line:
+
+    // det-lint: allow(wall-clock) host-side profiler, never simulated time
+
+Usage:
+    det_lint.py [--root DIR]          lint src/ and tools/ (exit 1 on findings)
+    det_lint.py --self-test [--root DIR]
+                                      prove every rule fires on its seeded
+                                      fixture in scripts/det_lint_fixtures/
+    det_lint.py --list-rules          print the rule catalogue
+
+Fixture files declare what they seed with
+
+    // det-lint-expect: <rule>
+
+on the hazard line; --self-test fails if any expected finding is missed
+or any unexpected finding appears.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"chrono::\w+_clock::now"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|\bstd::time\s*\("
+        ),
+        "reads real time; simulated/serving code must use the event loop's "
+        "virtual clock",
+    ),
+    (
+        "rand",
+        re.compile(
+            r"\brand\s*\(\s*\)"
+            r"|\bsrand\s*\("
+            r"|\bstd::random_device\b"
+        ),
+        "unseeded randomness; use the seeded fcl RNGs so runs replay",
+    ),
+    (
+        "thread-id",
+        re.compile(
+            r"this_thread::get_id"
+            r"|\bpthread_self\s*\("
+            r"|\bgettid\s*\("
+        ),
+        "thread identity is nondeterministic across runs and schedulers",
+    ),
+    (
+        "unordered-container",
+        re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b"),
+        "iteration order is implementation-defined; use std::map/std::set "
+        "so serialized walks are stable",
+    ),
+    (
+        "pointer-key-map",
+        re.compile(
+            r"\b(?:std::)?(?:unordered_)?(?:multi)?map<\s*"
+            r"(?:const\s+)?[\w:]+\s*\*"
+        ),
+        "pointer keys order by allocator addresses; key by a stable id "
+        "instead",
+    ),
+]
+RULE_NAMES = {name for name, _, _ in RULES}
+
+ALLOW_RE = re.compile(r"det-lint:\s*allow\(([\w,\- ]+)\)")
+EXPECT_RE = re.compile(r"det-lint-expect:\s*([\w\-]+)")
+
+SOURCE_EXTS = (".cpp", ".h", ".hpp", ".cc")
+
+
+def strip_comments(line, in_block):
+    """Remove comment text from one line (tracking /* */ across lines) so
+    rules never fire on prose. Returns (code_text, still_in_block)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+        elif line.startswith("//", i):
+            break
+        elif line.startswith("/*", i):
+            in_block = True
+            i += 2
+        else:
+            out.append(line[i])
+            i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path):
+    """Returns (findings, expects): findings as (line_no, rule, code_line),
+    expects as (line_no, rule) from det-lint-expect markers."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"det_lint: cannot read {path}: {e}", file=sys.stderr)
+        return [], []
+
+    findings, expects = [], []
+    allowed_prev = set()  # allows declared on the preceding line
+    in_block = False
+    for no, raw in enumerate(lines, start=1):
+        allows = set(allowed_prev)
+        allowed_prev = set()
+        m = ALLOW_RE.search(raw)
+        if m:
+            names = {n.strip() for n in m.group(1).split(",")}
+            allows |= names
+            allowed_prev |= names  # also covers the next line
+        m = EXPECT_RE.search(raw)
+        if m:
+            expects.append((no, m.group(1)))
+
+        code, in_block = strip_comments(raw, in_block)
+        if not code.strip():
+            continue
+        for rule, rx, _why in RULES:
+            if rx.search(code) and rule not in allows:
+                findings.append((no, rule, raw.strip()))
+    return findings, expects
+
+
+def iter_sources(roots):
+    for root in roots:
+        for dirpath, _dirs, files in os.walk(root):
+            for name in sorted(files):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_lint(repo_root):
+    roots = [os.path.join(repo_root, d) for d in ("src", "tools")]
+    roots = [r for r in roots if os.path.isdir(r)]
+    if not roots:
+        print(f"det_lint: no src/ or tools/ under {repo_root}",
+              file=sys.stderr)
+        return 2
+    why = {name: w for name, _rx, w in RULES}
+    total = 0
+    scanned = 0
+    for path in iter_sources(roots):
+        scanned += 1
+        findings, _ = lint_file(path)
+        for no, rule, text in findings:
+            rel = os.path.relpath(path, repo_root)
+            print(f"{rel}:{no}: [{rule}] {text}")
+            print(f"    {why[rule]}")
+            print(f"    suppress with: // det-lint: allow({rule}) <reason>")
+            total += 1
+    print(f"det_lint: {scanned} file(s) scanned, {total} finding(s)")
+    return 1 if total else 0
+
+
+def run_self_test(repo_root):
+    fixtures = os.path.join(repo_root, "scripts", "det_lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"det_lint: fixture dir missing: {fixtures}", file=sys.stderr)
+        return 2
+    failures = 0
+    cases = 0
+    for path in iter_sources([fixtures]):
+        findings, expects = lint_file(path)
+        rel = os.path.relpath(path, repo_root)
+        if not expects:
+            print(f"{rel}: fixture has no det-lint-expect marker")
+            failures += 1
+            continue
+        got = {(no, rule) for no, rule, _ in findings}
+        for no, rule in expects:
+            cases += 1
+            if rule not in RULE_NAMES:
+                print(f"{rel}:{no}: expects unknown rule '{rule}'")
+                failures += 1
+            elif (no, rule) in got:
+                print(f"{rel}:{no}: [{rule}] caught")
+            else:
+                print(f"{rel}:{no}: [{rule}] MISSED")
+                failures += 1
+        expected = set(expects)
+        for no, rule, text in findings:
+            if (no, rule) not in expected:
+                print(f"{rel}:{no}: unexpected [{rule}] finding: {text}")
+                failures += 1
+    print(f"det_lint self-test: {cases} expectation(s), "
+          f"{failures} failure(s)")
+    return 1 if failures or cases == 0 else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify every rule fires on its seeded fixture")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for name, rx, why in RULES:
+            print(f"{name}: {why}")
+        return 0
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return run_self_test(repo_root)
+    return run_lint(repo_root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

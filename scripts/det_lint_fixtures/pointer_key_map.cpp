@@ -1,0 +1,17 @@
+// Seeded det_lint fixture: a map keyed by pointer values. std::map keeps
+// the keys sorted -- but sorted by ADDRESS, which the allocator hands
+// out differently every run, so walking the map to build a report is
+// nondeterministic even though the container itself is ordered. Key by
+// a stable id (name, sequence number) instead.
+#include <cstdio>
+#include <map>
+
+struct Stream {
+  int Id;
+};
+
+void emitPerStreamBad() {
+  std::map<Stream *, int> Depth; // det-lint-expect: pointer-key-map
+  for (const auto &KV : Depth)
+    std::printf("stream %d depth %d\n", KV.first->Id, KV.second);
+}

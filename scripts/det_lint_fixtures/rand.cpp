@@ -1,0 +1,14 @@
+// Seeded det_lint fixture: unseeded libc randomness in a load generator.
+// Same-seed serve runs must replay byte-identically, so every random
+// draw has to come from the seeded fcl RNGs.
+#include <cstdlib>
+#include <random>
+
+unsigned arrivalJitterBad() {
+  return rand() % 100; // det-lint-expect: rand
+}
+
+unsigned seedFromHardwareBad() {
+  std::random_device Dev; // det-lint-expect: rand
+  return Dev();
+}

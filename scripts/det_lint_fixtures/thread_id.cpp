@@ -1,0 +1,12 @@
+// Seeded det_lint fixture: thread identity leaking into report output.
+// Thread ids differ run to run and scheduler to scheduler; once the
+// simulators move onto OS threads, keying or labelling anything
+// serialized by them breaks replay.
+#include <sstream>
+#include <thread>
+
+std::string taskLabelBad() {
+  std::ostringstream Os;
+  Os << std::this_thread::get_id(); // det-lint-expect: thread-id
+  return Os.str();
+}

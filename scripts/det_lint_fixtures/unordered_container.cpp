@@ -1,0 +1,15 @@
+// Seeded det_lint fixture: an unordered container whose iteration order
+// feeds a serialized report. Hash iteration order is implementation-
+// defined (and salted in some standard libraries), so the emitted JSON
+// would differ across builds; the codebase uses std::map for every
+// walked structure.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void emitCountersBad() {
+  std::unordered_map<std::string, int> C; // det-lint-expect: unordered-container
+  C["a"] = 1;
+  for (const auto &KV : C)
+    std::printf("%s=%d\n", KV.first.c_str(), KV.second);
+}

@@ -1,0 +1,20 @@
+// Seeded det_lint fixture: simulated code reading the real clock. The
+// simulator's virtual time must come from the event loop, never from the
+// host's chrono clocks; this is the classic way a "deterministic" report
+// grows wall-clock jitter.
+#include <chrono>
+
+double simulatedNowBad() {
+  auto T = std::chrono::steady_clock::now(); // det-lint-expect: wall-clock
+  return std::chrono::duration<double>(T.time_since_epoch()).count();
+}
+
+// The suppression syntax must silence an intentional use (a host-side
+// profiler is allowed to read real time). No expect marker here: the
+// self-test fails on any unexpected finding, so this line also proves
+// suppressions work.
+double hostProfileNowOk() {
+  // det-lint: allow(wall-clock) host-side profiling, never simulated time
+  auto T = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T.time_since_epoch()).count();
+}

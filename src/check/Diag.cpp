@@ -65,6 +65,12 @@ const char *diagKindName(DiagKind Kind) {
     return "shim_nonblocking_read";
   case DiagKind::LeakedObjects:
     return "shim_leaked_objects";
+  case DiagKind::RaceUnorderedAccess:
+    return "race_unordered_access";
+  case DiagKind::RaceReentrantCallback:
+    return "race_reentrant_callback";
+  case DiagKind::RaceLeaseOverlap:
+    return "race_lease_overlap";
   }
   FCL_UNREACHABLE("unknown DiagKind");
 }
@@ -91,6 +97,9 @@ Severity diagDefaultSeverity(DiagKind Kind) {
   case DiagKind::UseAfterRelease:
   case DiagKind::DoubleRelease:
   case DiagKind::UnsetKernelArgs:
+  case DiagKind::RaceUnorderedAccess:
+  case DiagKind::RaceReentrantCallback:
+  case DiagKind::RaceLeaseOverlap:
     return Severity::Error;
   case DiagKind::BenignWriteOverlap:
   case DiagKind::KernelNotCovered:
@@ -125,6 +134,8 @@ std::string Diag::str() const {
   if (ArgIndex >= 0)
     Os << " arg #" << ArgIndex;
   Os << ": " << Message;
+  if (Repeat > 1)
+    Os << " [x" << Repeat << "]";
   return Os.str();
 }
 
@@ -148,17 +159,36 @@ void DiagSink::report(Diag D) {
   if (Pol == Policy::Off)
     return;
   if (D.Sev == Severity::Error)
-    ++Errors;
+    Errors += D.Repeat;
   else if (D.Sev == Severity::Warning)
-    ++Warnings;
+    Warnings += D.Repeat;
   if (Stats) {
-    Stats->add("check_diags");
+    Stats->add("check_diags", D.Repeat);
     if (D.Sev == Severity::Error)
-      Stats->add("check_errors");
+      Stats->add("check_errors", D.Repeat);
     else if (D.Sev == Severity::Warning)
-      Stats->add("check_warnings");
-    Stats->add(std::string("check_") + diagKindName(D.Kind));
+      Stats->add("check_warnings", D.Repeat);
+    Stats->add(std::string("check_") + diagKindName(D.Kind), D.Repeat);
   }
+  // Deduplicate: an identical diagnostic only bumps the first entry's
+  // repeat count (first-occurrence context is kept, the observer already
+  // fired for it).
+  std::string Key;
+  Key += diagKindName(D.Kind);
+  Key += '\x1f';
+  Key += severityName(D.Sev);
+  Key += '\x1f';
+  Key += D.Kernel;
+  Key += '\x1f';
+  Key += std::to_string(D.ArgIndex);
+  Key += '\x1f';
+  Key += D.Message;
+  auto It = DedupIndex.find(Key);
+  if (It != DedupIndex.end()) {
+    Diags[It->second].Repeat += D.Repeat;
+    return;
+  }
+  DedupIndex.emplace(std::move(Key), Diags.size());
   Diags.push_back(std::move(D));
   if (Observer)
     Observer(Diags.back());
@@ -168,12 +198,13 @@ uint64_t DiagSink::count(DiagKind Kind) const {
   uint64_t N = 0;
   for (const Diag &D : Diags)
     if (D.Kind == Kind)
-      ++N;
+      N += D.Repeat;
   return N;
 }
 
 void DiagSink::clear() {
   Diags.clear();
+  DedupIndex.clear();
   Errors = 0;
   Warnings = 0;
 }

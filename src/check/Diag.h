@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -115,11 +116,21 @@ enum class DiagKind {
   NonBlockingReadAssumed,
   /// A context was released while buffers/kernels/queues were still live.
   LeakedObjects,
+
+  // --- fcl::race: would-be concurrency hazards (race/Bridge.h) ------------
+  /// Two conflicting accesses to a shared host structure are unordered by
+  /// the event graph's happens-before relation: a data race once
+  /// simulators move onto OS threads.
+  RaceUnorderedAccess,
+  /// A non-reentrant callback scope was re-entered while active.
+  RaceReentrantCallback,
+  /// A device/resource lease was acquired while still held elsewhere.
+  RaceLeaseOverlap,
 };
 
 /// Number of distinct DiagKind values (for tables/tests).
 inline constexpr int NumDiagKinds =
-    static_cast<int>(DiagKind::LeakedObjects) + 1;
+    static_cast<int>(DiagKind::RaceLeaseOverlap) + 1;
 
 enum class Severity {
   Info,
@@ -146,6 +157,11 @@ struct Diag {
   int ArgIndex = -1;
   /// Human-readable description with the observed evidence.
   std::string Message;
+  /// Occurrences of this exact diagnostic. The sink deduplicates repeats
+  /// of an identical (kind, severity, kernel, arg, message) diagnostic
+  /// into one entry with this count, keeping first-occurrence context, so
+  /// long serve runs cannot grow diagnostic memory unboundedly.
+  uint64_t Repeat = 1;
 
   static Diag make(DiagKind Kind, std::string Kernel, std::string Message,
                    int ArgIndex = -1) {
@@ -196,7 +212,10 @@ public:
     Observer = std::move(Fn);
   }
 
-  /// Collects \p D (no-op when the policy is Off).
+  /// Collects \p D (no-op when the policy is Off). A diagnostic identical
+  /// to an already-collected one only bumps that entry's Repeat count
+  /// (counters track total occurrences; the observer fires on the first
+  /// occurrence only).
   void report(Diag D);
 
   const std::vector<Diag> &diags() const { return Diags; }
@@ -219,6 +238,9 @@ private:
   stats::Registry *Stats = nullptr;
   std::function<void(const Diag &)> Observer;
   std::vector<Diag> Diags;
+  /// Dedup index: identity key of each collected diagnostic -> index into
+  /// Diags (see report()).
+  std::map<std::string, size_t> DedupIndex;
   uint64_t Errors = 0;
   uint64_t Warnings = 0;
 };

@@ -6,6 +6,7 @@
 
 #include "fluidicl/BufferPool.h"
 
+#include "race/Race.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -13,10 +14,16 @@
 using namespace fcl;
 using namespace fcl::fluidicl;
 
+void BufferPool::raceWrite(const char *What) const {
+  if (!RaceObj.empty() && race::Analyzer::enabled())
+    race::Analyzer::instance().sharedWrite(RaceObj, What);
+}
+
 BufferPool::BufferPool(mcl::Context &Ctx, mcl::Device &Dev, bool Enabled)
     : Ctx(Ctx), Dev(Dev), Enabled(Enabled) {}
 
 mcl::Buffer *BufferPool::acquire(uint64_t Size) {
+  raceWrite("acquire");
   FCL_CHECK(Size > 0, "zero-sized pool request");
   if (Enabled) {
     // Smallest free buffer that fits.
@@ -42,6 +49,7 @@ mcl::Buffer *BufferPool::acquire(uint64_t Size) {
 }
 
 void BufferPool::release(mcl::Buffer *Buf) {
+  raceWrite("release");
   auto It = std::find_if(InUse.begin(), InUse.end(),
                          [Buf](const std::unique_ptr<mcl::Buffer> &P) {
                            return P.get() == Buf;
@@ -57,6 +65,7 @@ void BufferPool::release(mcl::Buffer *Buf) {
 }
 
 void BufferPool::endKernelReclaim(uint64_t MaxIdleKernels) {
+  raceWrite("endKernelReclaim");
   ++Epoch;
   if (!Enabled)
     return;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace fcl {
@@ -33,6 +34,9 @@ public:
   /// \p Enabled false degenerates to create-on-acquire / destroy-on-release
   /// (the no-pooling ablation).
   BufferPool(mcl::Context &Ctx, mcl::Device &Dev, bool Enabled);
+
+  /// Shadow-object name for the fcl::race analyzer (empty disables).
+  void setRaceObject(std::string Name) { RaceObj = std::move(Name); }
 
   /// Returns a buffer with size() >= \p Size. May create a new one
   /// (charging the driver's buffer-creation overhead).
@@ -60,8 +64,11 @@ private:
     uint64_t LastUsedEpoch = 0;
   };
 
+  void raceWrite(const char *What) const;
+
   mcl::Context &Ctx;
   mcl::Device &Dev;
+  std::string RaceObj;
   bool Enabled;
   uint64_t Epoch = 0;
   uint64_t Hits = 0;

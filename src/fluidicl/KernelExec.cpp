@@ -8,6 +8,7 @@
 
 #include "kern/Registry.h"
 #include "prof/Profiler.h"
+#include "race/Race.h"
 #include "support/Error.h"
 #include "support/Log.h"
 
@@ -32,6 +33,7 @@ KernelExec::KernelExec(Runtime &RT, const kern::KernelInfo &Kernel,
   Stats.CpuKernelUsed = Kernel.Name;
   Stats.KernelId = KernelId;
   Stats.TotalGroups = TotalGroups;
+  YieldGuardName = RT.RaceSec + ".yield#" + std::to_string(KernelId);
 }
 
 mcl::LaunchDesc KernelExec::buildDesc(const kern::KernelInfo &K,
@@ -163,6 +165,7 @@ void KernelExec::launchGpuKernel() {
 }
 
 void KernelExec::gpuFinished(uint64_t ExecutedGroups) {
+  race::Section RaceS(RT.RaceSec);
   GpuDone = true;
   if (check::ProtocolChecker *PC = RT.protocolChecker())
     PC->onGpuFinished(KernelId, ExecutedGroups);
@@ -245,6 +248,7 @@ void KernelExec::enqueueMerges() {
     };
     mcl::EventPtr Done = RT.GpuAppQueue->enqueueKernel(std::move(Desc));
     Done->onComplete([Self] {
+      race::Section RaceS(Self->RT.RaceSec);
       if (--Self->MergesPending == 0)
         Self->mergesDone();
     });
@@ -321,6 +325,7 @@ uint64_t KernelExec::regionBytes(const OutBinding &Out, uint64_t Begin,
 void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
                                const kern::KernelInfo *Used,
                                TimePoint StartedAtTime) {
+  race::Section RaceS(RT.RaceSec);
   Duration Took = RT.Ctx.now() - StartedAtTime;
   if (check::ProtocolChecker *PC = RT.protocolChecker())
     PC->onCpuSubkernel(KernelId, Begin, End);
@@ -385,6 +390,7 @@ void KernelExec::subkernelDone(uint64_t Begin, uint64_t End,
 void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
                                       uint64_t End) {
   FCL_PROF_SCOPE("fcl.hd_send");
+  race::Section RaceS(RT.RaceSec);
   // If the GPU finished in the meantime the scratch buffers may be on
   // their way back to the pool; sending would be pointless anyway (the
   // GPU computed those work-groups itself).
@@ -425,6 +431,7 @@ void KernelExec::sendCpuDataAndStatus(uint64_t Boundary, uint64_t Begin,
   std::shared_ptr<uint64_t> BoundaryWord = GpuVisibleBoundary;
   auto Self = shared_from_this();
   StatusDone->onComplete([Self, BoundaryWord, Boundary, StatusDone] {
+    race::Section RaceS(Self->RT.RaceSec);
     if (check::ProtocolChecker *PC = Self->RT.protocolChecker())
       PC->onStatusCommit(Self->KernelId, Boundary);
     if (Boundary < *BoundaryWord)
@@ -450,7 +457,12 @@ void KernelExec::maybeContinueCpu() {
   // at resume time because the GPU may have finished in the interim.
   if (RT.ChunkYield) {
     auto Self = shared_from_this();
+    // The hook invocation is a declared non-reentrant scope: a hook that
+    // pumps the simulator deep enough to reach this exec's next chunk
+    // boundary would re-enter itself (unbounded recursion on OS threads).
+    race::GuardScope YieldGuard(YieldGuardName);
     RT.ChunkYield([Self] {
+      race::Section RaceS(Self->RT.RaceSec);
       if (!Self->GpuDone && !Self->MergePhaseStarted && Self->CpuLow > 0)
         Self->launchNextSubkernel();
     });
@@ -491,6 +503,7 @@ void KernelExec::startDhStage() {
     Runtime::DualBuffer *B = O.B;
     ReadDone->onComplete([Self, BufId, B, Staging, Applied] {
       Self->RT.CpuQueue->enqueueCallback([Self, BufId, B, Staging, Applied] {
+        race::Section RaceS(Self->RT.RaceSec);
         if (Self->RT.Versions.cpuVersion(BufId) >= Self->KernelId) {
           FCL_LOG_DEBUG("fcl kernel %llu: DH for buffer %u stale, discarded",
                         static_cast<unsigned long long>(Self->KernelId),

@@ -115,6 +115,10 @@ private:
   std::shared_ptr<mcl::LaunchCounters> GpuCounters;
   KernelStats Stats;
   std::function<void()> OnDone; // Fired once by appComplete (may be null).
+  /// fcl::race non-reentrant-scope name wrapping the chunk-yield hook
+  /// invocation: a hook that pumps its way back into its own yield point
+  /// is flagged as a reentrant callback.
+  std::string YieldGuardName;
 };
 
 } // namespace fluidicl

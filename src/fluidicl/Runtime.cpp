@@ -8,6 +8,7 @@
 
 #include "fluidicl/KernelExec.h"
 #include "kern/Registry.h"
+#include "race/Race.h"
 #include "support/Error.h"
 #include "support/Log.h"
 #include "trace/Tracer.h"
@@ -25,13 +26,24 @@ Runtime::Runtime(mcl::Context &Ctx, Options Opts)
       DhQueue(Ctx.createQueue(Ctx.gpu(), "fcl-dh")),
       StatusBuf(Ctx.createBuffer(Ctx.gpu(), 64, "fcl-status")),
       Pool(Ctx, Ctx.gpu(), Opts.BufferPool) {
+  // The threading plan for multi-simulator work is one lock per runtime:
+  // every API entry point and completion callback declares this section,
+  // and the race analyzer checks all shared-state accesses stay inside it.
+  static uint64_t NextRaceId = 0;
+  RaceSec = "fcl.rt#" + std::to_string(NextRaceId++);
+  Versions.setRaceObject(RaceSec + ".versions");
+  Pool.setRaceObject(RaceSec + ".pool");
   Diags.setStats(&Stats);
-  // Violations show up as zero-duration slices on a "Check" lane so they
-  // line up with the launch timeline in the trace viewer.
+  // Violations show up as zero-duration slices on a "Check" lane (race
+  // findings on a "Race" lane) so they line up with the launch timeline
+  // in the trace viewer.
   Diags.setObserver([this](const check::Diag &D) {
-    if (trace::Tracer *T = this->Ctx.tracer())
-      T->record("Check", check::diagKindName(D.Kind), this->Ctx.now(),
-                this->Ctx.now(), D.str());
+    if (trace::Tracer *T = this->Ctx.tracer()) {
+      const char *Name = check::diagKindName(D.Kind);
+      const char *Lane =
+          std::strncmp(Name, "race_", 5) == 0 ? "Race" : "Check";
+      T->record(Lane, Name, this->Ctx.now(), this->Ctx.now(), D.str());
+    }
   });
   if (Diags.enabled())
     Checker = std::make_unique<check::ProtocolChecker>(Diags);
@@ -46,6 +58,7 @@ Runtime::DualBuffer &Runtime::buf(runtime::BufferId Id) {
 
 runtime::BufferId Runtime::createBuffer(uint64_t Size,
                                         std::string DebugName) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   auto B = std::make_unique<DualBuffer>();
   B->Size = Size;
@@ -61,6 +74,7 @@ runtime::BufferId Runtime::createBuffer(uint64_t Size,
 
 void Runtime::writeBuffer(runtime::BufferId Id, const void *Src,
                           uint64_t Bytes) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   DualBuffer &B = buf(Id);
   FCL_CHECK(Bytes <= B.Size, "write overruns buffer");
@@ -72,6 +86,7 @@ void Runtime::writeBuffer(runtime::BufferId Id, const void *Src,
 }
 
 void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   DualBuffer &B = buf(Id);
   FCL_CHECK(Bytes <= B.Size, "read overruns buffer");
@@ -100,6 +115,7 @@ void Runtime::readBuffer(runtime::BufferId Id, void *Dst, uint64_t Bytes) {
 void Runtime::launchKernel(const std::string &KernelName,
                            const kern::NDRange &Range,
                            const std::vector<runtime::KArg> &Args) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   const kern::KernelInfo &Kernel = kern::Registry::builtin().get(KernelName);
   FCL_CHECK(Kernel.Args.size() == Args.size(), "argument arity mismatch");
@@ -112,6 +128,7 @@ void Runtime::launchKernelAsync(const std::string &KernelName,
                                 const kern::NDRange &Range,
                                 const std::vector<runtime::KArg> &Args,
                                 std::function<void()> OnDone) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   const kern::KernelInfo &Kernel = kern::Registry::builtin().get(KernelName);
   FCL_CHECK(Kernel.Args.size() == Args.size(), "argument arity mismatch");
@@ -122,6 +139,7 @@ void Runtime::launchKernelAsync(const std::string &KernelName,
 
 void Runtime::readBufferAsync(runtime::BufferId Id, void *Dst, uint64_t Bytes,
                               std::function<void()> OnDone) {
+  race::Section RaceS(RaceSec);
   Ctx.hostAdvance(Ctx.machine().Host.ApiCallOverhead);
   DualBuffer &B = buf(Id);
   FCL_CHECK(Bytes <= B.Size, "read overruns buffer");
@@ -150,6 +168,7 @@ void Runtime::readBufferAsync(runtime::BufferId Id, void *Dst, uint64_t Bytes,
 }
 
 void Runtime::finish() {
+  race::Section RaceS(RaceSec);
   // Drain until every queue is idle and every DH transfer has landed.
   // Queues can feed each other (subkernel completion enqueues hd writes),
   // so iterate to a fixed point.
@@ -207,6 +226,7 @@ void Runtime::collectStats(stats::RunReport &Report) const {
 void Runtime::whenCpuVersions(
     std::vector<std::pair<uint32_t, uint64_t>> Needs,
     std::function<void()> Fn) {
+  race::Section RaceS(RaceSec);
   bool Satisfied = true;
   for (const auto &[Buf, Ver] : Needs)
     if (Versions.cpuVersion(Buf) < Ver)
@@ -237,6 +257,7 @@ void Runtime::noteVersion(uint32_t Id) {
 }
 
 void Runtime::trackDh(mcl::EventPtr E) {
+  race::Section RaceS(RaceSec);
   std::erase_if(PendingDh,
                 [](const mcl::EventPtr &P) { return P->isComplete(); });
   PendingDh.push_back(std::move(E));

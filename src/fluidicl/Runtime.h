@@ -163,6 +163,11 @@ private:
   std::vector<mcl::EventPtr> PendingDh;
   std::vector<std::shared_ptr<KernelExec>> Execs;
   std::function<void(std::function<void()>)> ChunkYield;
+  /// fcl::race critical-section name covering this runtime's host-side
+  /// state (buffers, version tracker, pool, exec list). Every API entry
+  /// point and async completion callback runs inside it, declaring "one
+  /// lock per runtime" as the threading plan the analyzer checks against.
+  std::string RaceSec;
 };
 
 } // namespace fluidicl

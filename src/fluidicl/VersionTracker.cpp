@@ -6,29 +6,44 @@
 
 #include "fluidicl/VersionTracker.h"
 
+#include "race/Race.h"
 #include "support/Error.h"
 
 using namespace fcl;
 using namespace fcl::fluidicl;
 
+void VersionTracker::raceWrite(const char *What) const {
+  if (!RaceObj.empty() && race::Analyzer::enabled())
+    race::Analyzer::instance().sharedWrite(RaceObj, What);
+}
+
+void VersionTracker::raceRead(const char *What) const {
+  if (!RaceObj.empty() && race::Analyzer::enabled())
+    race::Analyzer::instance().sharedRead(RaceObj, What);
+}
+
 uint32_t VersionTracker::addBuffer() {
+  raceWrite("addBuffer");
   States.push_back(State());
   return static_cast<uint32_t>(States.size() - 1);
 }
 
 void VersionTracker::noteHostWrite(uint32_t Buf, uint64_t KernelId) {
+  raceWrite("noteHostWrite");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   States[Buf].Expected = KernelId;
   States[Buf].CpuReceived = KernelId;
 }
 
 void VersionTracker::noteKernelWillWrite(uint32_t Buf, uint64_t KernelId) {
+  raceWrite("noteKernelWillWrite");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   FCL_CHECK(KernelId > States[Buf].Expected, "kernel IDs must increase");
   States[Buf].Expected = KernelId;
 }
 
 void VersionTracker::noteCpuReceived(uint32_t Buf, uint64_t KernelId) {
+  raceWrite("noteCpuReceived");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   // Discard stale arrivals (section 5.3: late messages are ignored).
   if (KernelId > States[Buf].CpuReceived) {
@@ -40,6 +55,7 @@ void VersionTracker::noteCpuReceived(uint32_t Buf, uint64_t KernelId) {
 }
 
 bool VersionTracker::cpuCurrent(uint32_t Buf) const {
+  raceRead("cpuCurrent");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   return States[Buf].CpuReceived >= States[Buf].Expected;
 }
@@ -52,11 +68,13 @@ bool VersionTracker::cpuCurrentAll(const std::vector<uint32_t> &Bufs) const {
 }
 
 uint64_t VersionTracker::expectedVersion(uint32_t Buf) const {
+  raceRead("expectedVersion");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   return States[Buf].Expected;
 }
 
 uint64_t VersionTracker::cpuVersion(uint32_t Buf) const {
+  raceRead("cpuVersion");
   FCL_CHECK(Buf < States.size(), "unknown buffer");
   return States[Buf].CpuReceived;
 }

@@ -21,6 +21,7 @@
 #define FCL_FLUIDICL_VERSIONTRACKER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fcl {
@@ -29,6 +30,11 @@ namespace fluidicl {
 /// Per-buffer version and location bookkeeping.
 class VersionTracker {
 public:
+  /// Shadow-object name for the fcl::race analyzer; every mutation/query
+  /// is checked for happens-before ordering under that name. Empty (the
+  /// default) disables shadowing.
+  void setRaceObject(std::string Name) { RaceObj = std::move(Name); }
+
   /// Registers a new buffer; returns its index (== registration order).
   uint32_t addBuffer();
 
@@ -66,9 +72,13 @@ private:
     uint64_t CpuReceived = 0;
   };
 
+  void raceWrite(const char *What) const;
+  void raceRead(const char *What) const;
+
   std::vector<State> States;
   uint64_t ReceivesApplied = 0;
   uint64_t StaleDrops = 0;
+  std::string RaceObj;
 };
 
 } // namespace fluidicl

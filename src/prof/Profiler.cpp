@@ -21,8 +21,10 @@ using namespace fcl;
 using namespace fcl::prof;
 
 int64_t fcl::prof::wallNowNs() {
+  // det-lint: allow(wall-clock) host-side profiler; feeds prof output only
+  auto Now = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             Now.time_since_epoch())
       .count();
 }
 

@@ -1,0 +1,46 @@
+//===- race/Bridge.cpp - race findings -> check diagnostics ---------------===//
+
+#include "race/Bridge.h"
+
+#include "support/Error.h"
+
+namespace fcl::race {
+
+check::DiagKind diagKindFor(FindingKind Kind) {
+  switch (Kind) {
+  case FindingKind::UnorderedAccess:
+    return check::DiagKind::RaceUnorderedAccess;
+  case FindingKind::ReentrantCallback:
+    return check::DiagKind::RaceReentrantCallback;
+  case FindingKind::LeaseOverlap:
+    return check::DiagKind::RaceLeaseOverlap;
+  }
+  FCL_UNREACHABLE("unknown FindingKind");
+}
+
+size_t reportFindings(const std::vector<Finding> &Findings,
+                      check::DiagSink &Sink) {
+  for (const Finding &F : Findings) {
+    check::Diag D =
+        check::Diag::make(diagKindFor(F.Kind), F.Object, F.Message);
+    D.Repeat = F.Repeats;
+    Sink.report(std::move(D));
+  }
+  return Findings.size();
+}
+
+void armAnalyzer(check::Policy P) {
+  if (P == check::Policy::Off)
+    return;
+  Analyzer &A = Analyzer::instance();
+  A.reset();
+  A.setEnabled(true);
+}
+
+size_t disarmAnalyzer(check::DiagSink &Sink) {
+  Analyzer &A = Analyzer::instance();
+  A.setEnabled(false);
+  return reportFindings(A.takeFindings(), Sink);
+}
+
+} // namespace fcl::race

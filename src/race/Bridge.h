@@ -1,0 +1,47 @@
+//===- race/Bridge.h - race findings -> check diagnostics -------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts fcl::race analyzer findings into check::DiagSink diagnostics
+/// so they flow through the existing reporting fabric (stats counter
+/// mirroring, trace-lane observers, policy-driven exit codes). Kept out
+/// of race/Race.h so the analyzer core depends on fcl_support only and
+/// the simulator itself can link it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_RACE_BRIDGE_H
+#define FCL_RACE_BRIDGE_H
+
+#include "check/Diag.h"
+#include "race/Race.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace fcl {
+namespace race {
+
+/// The check-subsystem diagnostic kind mirroring \p Kind.
+check::DiagKind diagKindFor(FindingKind Kind);
+
+/// Reports every finding into \p Sink (Diag.Kernel carries the object
+/// name, Diag.Repeat the occurrence count). Returns the number reported.
+size_t reportFindings(const std::vector<Finding> &Findings,
+                      check::DiagSink &Sink);
+
+/// Tool-side --races harness: resets the process-wide analyzer and
+/// enables it unless \p P is Off.
+void armAnalyzer(check::Policy P);
+
+/// Disables the analyzer and drains its accumulated findings into
+/// \p Sink; returns the number of distinct findings.
+size_t disarmAnalyzer(check::DiagSink &Sink);
+
+} // namespace race
+} // namespace fcl
+
+#endif // FCL_RACE_BRIDGE_H

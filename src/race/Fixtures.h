@@ -1,0 +1,48 @@
+//===- race/Fixtures.h - Seeded concurrency-hazard fixtures -----*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deliberately hazardous mini-programs that the fcl::race analyzer must
+/// catch, each with a distinct diagnostic, plus clean counterparts proving
+/// the happens-before model does not cry wolf on properly ordered code.
+/// `fluidicl_check --race-fixtures` and tests/race_test.cpp sweep them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_RACE_FIXTURES_H
+#define FCL_RACE_FIXTURES_H
+
+#include "race/Race.h"
+
+#include <vector>
+
+namespace fcl {
+namespace race {
+
+/// One seeded fixture. Run() executes under an enabled, freshly reset
+/// analyzer; the sweep then asserts the finding set is exactly what the
+/// fixture declares (the expected kind and nothing else, or nothing).
+struct FixtureCase {
+  const char *Name;
+  /// What the fixture demonstrates (one line, for --race-fixtures output).
+  const char *Hazard;
+  /// False for clean counterparts that must produce zero findings.
+  bool ExpectFinding;
+  FindingKind Expected;
+  void (*Run)();
+};
+
+const std::vector<FixtureCase> &fixtureCases();
+
+/// Runs every fixture under the analyzer and checks its outcome. Returns
+/// true when all behave as declared. Resets and disables the analyzer
+/// when done.
+bool runFixtureSweep(bool Verbose);
+
+} // namespace race
+} // namespace fcl
+
+#endif // FCL_RACE_FIXTURES_H

@@ -1,0 +1,422 @@
+//===- race/Race.cpp - Happens-before would-be-race analyzer --------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/Race.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fcl::race {
+
+std::atomic<bool> Analyzer::Enabled{false};
+
+const char *findingKindName(FindingKind Kind) {
+  switch (Kind) {
+  case FindingKind::UnorderedAccess:
+    return "unordered_access";
+  case FindingKind::ReentrantCallback:
+    return "reentrant_callback";
+  case FindingKind::LeaseOverlap:
+    return "lease_overlap";
+  }
+  FCL_UNREACHABLE("unknown FindingKind");
+}
+
+Analyzer &Analyzer::instance() {
+  static Analyzer A;
+  return A;
+}
+
+void Analyzer::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+void Analyzer::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  resetLocked();
+}
+
+void Analyzer::resetLocked() {
+  TaskStack.clear();
+  PendingBySeq.clear();
+  History.clear();
+  NextEpoch.clear();
+  Sections.clear();
+  Leases.clear();
+  Guards.clear();
+  Shadows.clear();
+  Findings.clear();
+  FindingCount.store(0, std::memory_order_relaxed);
+  Sum = Summary();
+  NextStrand = 1;
+  GlobalVersion = 0;
+  // The host task: strand 0, epoch 1, begun at version 0 (everything
+  // covers it - the host schedules the first events).
+  Task Host;
+  Host.Seq = 0;
+  Host.Strand = 0;
+  Host.Epoch = 1;
+  auto C = std::make_shared<Clock>();
+  (*C)[0] = 1;
+  Host.Explicit = std::move(C);
+  Host.GlobalV = 0;
+  NextEpoch[0] = 2;
+  History[0].emplace_back(1, 0);
+  TaskStack.push_back(std::move(Host));
+}
+
+Analyzer::Task &Analyzer::currentLocked() {
+  FCL_CHECK(!TaskStack.empty(), "race analyzer has no current task");
+  return TaskStack.back();
+}
+
+std::string Analyzer::taskLabelLocked() const {
+  const Task &T = TaskStack.back();
+  if (T.Seq == 0)
+    return "host";
+  std::ostringstream Os;
+  Os << "event#" << T.Seq;
+  return Os.str();
+}
+
+uint64_t Analyzer::beginVersionOf(uint32_t Strand, uint64_t Epoch) const {
+  auto It = History.find(Strand);
+  if (It == History.end())
+    return UINT64_MAX;
+  const auto &H = It->second;
+  auto P = std::lower_bound(
+      H.begin(), H.end(), Epoch,
+      [](const std::pair<uint64_t, uint64_t> &E, uint64_t V) {
+        return E.first < V;
+      });
+  if (P == H.end() || P->first != Epoch)
+    return UINT64_MAX;
+  return P->second;
+}
+
+bool Analyzer::coversLocked(const Task &T, uint32_t Strand,
+                            uint64_t Epoch) const {
+  if (T.Strand == Strand && T.Epoch >= Epoch)
+    return true;
+  if (T.Explicit) {
+    auto It = T.Explicit->find(Strand);
+    if (It != T.Explicit->end() && It->second >= Epoch)
+      return true;
+  }
+  // Drain joins: the task waited for everything begun up to GlobalV.
+  uint64_t V = beginVersionOf(Strand, Epoch);
+  return V != UINT64_MAX && T.GlobalV >= V;
+}
+
+Analyzer::Clock &Analyzer::mutableClockLocked(Task &T) {
+  if (!T.Explicit) {
+    auto C = std::make_shared<Clock>();
+    T.Explicit = C;
+    return *C;
+  }
+  if (T.Explicit.use_count() > 1) {
+    auto C = std::make_shared<Clock>(*T.Explicit);
+    T.Explicit = C;
+    return *C;
+  }
+  // Sole owner: mutate in place.
+  return const_cast<Clock &>(*T.Explicit);
+}
+
+void Analyzer::joinLocked(Task &T, const Stamp &S) {
+  if (S.GlobalV > T.GlobalV)
+    T.GlobalV = S.GlobalV;
+  if (!S.Explicit || S.Explicit == T.Explicit)
+    return;
+  Clock &C = mutableClockLocked(T);
+  for (const auto &[Strand, Epoch] : *S.Explicit) {
+    uint64_t &E = C[Strand];
+    if (Epoch > E)
+      E = Epoch;
+  }
+}
+
+Analyzer::Stamp Analyzer::stampLocked(const Task &T) const {
+  return Stamp{T.Explicit, T.GlobalV};
+}
+
+void Analyzer::mergeStampLocked(Stamp &Dst, const Stamp &Src) {
+  if (Src.GlobalV > Dst.GlobalV)
+    Dst.GlobalV = Src.GlobalV;
+  if (!Src.Explicit || Src.Explicit == Dst.Explicit)
+    return;
+  if (!Dst.Explicit) {
+    Dst.Explicit = Src.Explicit;
+    return;
+  }
+  // Clone only when the source actually advances an entry (the common
+  // case is the same task re-publishing an unchanged clock).
+  bool Advances = false;
+  for (const auto &[Strand, Epoch] : *Src.Explicit) {
+    auto It = Dst.Explicit->find(Strand);
+    if (It == Dst.Explicit->end() || It->second < Epoch) {
+      Advances = true;
+      break;
+    }
+  }
+  if (!Advances)
+    return;
+  auto C = std::make_shared<Clock>(*Dst.Explicit);
+  for (const auto &[Strand, Epoch] : *Src.Explicit) {
+    uint64_t &E = (*C)[Strand];
+    if (Epoch > E)
+      E = Epoch;
+  }
+  Dst.Explicit = std::move(C);
+}
+
+void Analyzer::onSchedule(uint64_t Seq) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Task &Cur = currentLocked();
+  Pending P;
+  P.At = stampLocked(Cur);
+  // Strand compression: the first event a task schedules continues the
+  // task's strand at the next epoch, so completion chains reuse one
+  // strand and clocks stay small.
+  if (!Cur.ForkedContinuation) {
+    Cur.ForkedContinuation = true;
+    P.TakesParentStrand = true;
+    P.ParentStrand = Cur.Strand;
+  }
+  PendingBySeq.emplace(Seq, std::move(P));
+}
+
+void Analyzer::onEventBegin(uint64_t Seq) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Pending P;
+  auto It = PendingBySeq.find(Seq);
+  if (It != PendingBySeq.end()) {
+    P = std::move(It->second);
+    PendingBySeq.erase(It);
+  }
+  // Events scheduled before the analyzer was enabled have no snapshot and
+  // start as roots (P left default: fresh strand, empty clock).
+  Task T;
+  T.Seq = Seq;
+  if (P.TakesParentStrand) {
+    T.Strand = P.ParentStrand;
+  } else {
+    T.Strand = NextStrand++;
+    ++Sum.StrandsCreated;
+  }
+  uint64_t &Next = NextEpoch[T.Strand];
+  if (Next == 0)
+    Next = 1;
+  T.Epoch = Next++;
+  T.Explicit = P.At.Explicit;
+  T.GlobalV = P.At.GlobalV;
+  ++GlobalVersion;
+  History[T.Strand].emplace_back(T.Epoch, GlobalVersion);
+  TaskStack.push_back(std::move(T));
+  mutableClockLocked(TaskStack.back())[TaskStack.back().Strand] =
+      TaskStack.back().Epoch;
+  ++Sum.TasksExecuted;
+}
+
+void Analyzer::onEventEnd() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (TaskStack.size() > 1)
+    TaskStack.pop_back();
+}
+
+void Analyzer::onCancel(uint64_t Seq) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  PendingBySeq.erase(Seq);
+}
+
+void Analyzer::onDrainExit() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Returning from a blocking run loop means every event begun so far has
+  // finished (or is an ancestor on this very stack): join them all. O(1)
+  // thanks to the begin-version history.
+  currentLocked().GlobalV = GlobalVersion;
+  ++Sum.DrainJoins;
+}
+
+void Analyzer::sectionEnter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.SectionOps;
+  Task &Cur = currentLocked();
+  auto It = Sections.find(Name);
+  if (It != Sections.end())
+    joinLocked(Cur, It->second);
+  ++Cur.Held[Name];
+}
+
+void Analyzer::sectionExit(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Task &Cur = currentLocked();
+  // Accumulate rather than overwrite: a mutex acquire happens-after EVERY
+  // prior release, and simulated sections can overlap (an inline-pumped
+  // nested event enters and exits while an outer event still holds the
+  // scope), so last-writer-wins would drop the nested publish.
+  mergeStampLocked(Sections[Name], stampLocked(Cur));
+  auto It = Cur.Held.find(Name);
+  if (It != Cur.Held.end() && --It->second == 0)
+    Cur.Held.erase(It);
+}
+
+void Analyzer::leaseAcquire(const std::string &Name,
+                            const std::string &Holder) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.LeaseOps;
+  LeaseState &L = Leases[Name];
+  if (L.Held) {
+    std::ostringstream Os;
+    Os << "lease '" << Name << "' acquired by " << taskLabelLocked() << " ('"
+       << Holder << "') while still held by '" << L.Holder
+       << "' (overlapping ownership would corrupt the resource on OS "
+          "threads)";
+    recordFindingLocked(FindingKind::LeaseOverlap, Name, Os.str());
+  } else {
+    joinLocked(currentLocked(), L.LastRelease);
+  }
+  L.Held = true;
+  L.Holder = Holder.empty() ? taskLabelLocked() : Holder;
+}
+
+void Analyzer::leaseRelease(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.LeaseOps;
+  LeaseState &L = Leases[Name];
+  L.Held = false;
+  L.LastRelease = stampLocked(currentLocked());
+}
+
+void Analyzer::guardEnter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.GuardOps;
+  GuardState &G = Guards[Name];
+  if (G.Depth > 0) {
+    std::ostringstream Os;
+    Os << "non-reentrant scope '" << Name
+       << "' re-entered while active: first entered by " << G.Holder
+       << ", re-entered by " << taskLabelLocked()
+       << " (a callback recursed into its own scope)";
+    recordFindingLocked(FindingKind::ReentrantCallback, Name, Os.str());
+  } else {
+    G.Holder = taskLabelLocked();
+  }
+  ++G.Depth;
+}
+
+void Analyzer::guardExit(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  GuardState &G = Guards[Name];
+  if (G.Depth > 0)
+    --G.Depth;
+}
+
+void Analyzer::checkAccessLocked(Shadow &Sh, const std::string &Object,
+                                 const char *What, bool IsWrite) {
+  Task &Cur = currentLocked();
+  std::string Label = taskLabelLocked();
+  // Hybrid lockset rule: two accesses holding a common section are
+  // mutually excluded on OS threads even when no release->acquire edge
+  // orders them (the analyzer sees them overlap only because nested
+  // events pump inline on one native stack).
+  auto SharesLock = [&](const Access &Prev) {
+    for (const std::string &L : Prev.Locks)
+      if (Cur.Held.count(L))
+        return true;
+    return false;
+  };
+  auto Complain = [&](const Access &Prev, const char *PrevOp,
+                      const char *CurOp) {
+    std::ostringstream Os;
+    Os << "conflicting accesses to '" << Object << "': " << PrevOp << " '"
+       << Prev.What << "' by " << Prev.TaskLabel << " and " << CurOp << " '"
+       << What << "' by " << Label
+       << " are unordered by happens-before (a data race once simulators "
+          "move onto OS threads)";
+    recordFindingLocked(FindingKind::UnorderedAccess, Object, Os.str());
+  };
+  std::vector<std::string> Locks;
+  Locks.reserve(Cur.Held.size());
+  for (const auto &[Name, Depth] : Cur.Held)
+    Locks.push_back(Name);
+  if (Sh.HasWrite &&
+      !coversLocked(Cur, Sh.LastWrite.Strand, Sh.LastWrite.Epoch) &&
+      !SharesLock(Sh.LastWrite))
+    Complain(Sh.LastWrite, "write", IsWrite ? "write" : "read");
+  if (IsWrite) {
+    for (const auto &[Strand, R] : Sh.Reads)
+      if (!coversLocked(Cur, R.Strand, R.Epoch) && !SharesLock(R))
+        Complain(R, "read", "write");
+    Sh.HasWrite = true;
+    Sh.LastWrite = Access{Cur.Strand, Cur.Epoch, What, Label, Locks};
+    Sh.Reads.clear();
+  } else {
+    Sh.Reads[Cur.Strand] =
+        Access{Cur.Strand, Cur.Epoch, What, Label, std::move(Locks)};
+  }
+}
+
+void Analyzer::sharedWrite(const std::string &Object, const char *What) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.AccessesChecked;
+  checkAccessLocked(Shadows[Object], Object, What, /*IsWrite=*/true);
+}
+
+void Analyzer::sharedRead(const std::string &Object, const char *What) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.AccessesChecked;
+  checkAccessLocked(Shadows[Object], Object, What, /*IsWrite=*/false);
+}
+
+void Analyzer::recordFindingLocked(FindingKind Kind, const std::string &Object,
+                                   std::string Message) {
+  auto Key = std::make_pair(static_cast<int>(Kind), Object);
+  auto It = Findings.find(Key);
+  if (It != Findings.end()) {
+    ++It->second.Repeats;
+  } else {
+    Finding F;
+    F.Kind = Kind;
+    F.Object = Object;
+    F.Message = std::move(Message);
+    Findings.emplace(std::move(Key), std::move(F));
+  }
+  FindingCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Analyzer::hasFindings() const {
+  return FindingCount.load(std::memory_order_relaxed) != 0;
+}
+
+std::vector<Finding> Analyzer::findings() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Finding> Out;
+  Out.reserve(Findings.size());
+  for (const auto &[Key, F] : Findings)
+    Out.push_back(F);
+  return Out;
+}
+
+std::vector<Finding> Analyzer::takeFindings() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<Finding> Out;
+  Out.reserve(Findings.size());
+  for (const auto &[Key, F] : Findings)
+    Out.push_back(F);
+  Findings.clear();
+  FindingCount.store(0, std::memory_order_relaxed);
+  return Out;
+}
+
+Summary Analyzer::summary() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Sum;
+}
+
+} // namespace fcl::race

@@ -1,0 +1,324 @@
+//===- race/Race.h - Happens-before would-be-race analyzer ------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic half of the fcl::race concurrency-readiness analyzer.
+///
+/// Today every simulator, runtime and serving engine runs on one OS thread;
+/// the ROADMAP's cluster work wants to put each device pair's simulator on
+/// its own thread. Any pair of host-structure accesses that is not ordered
+/// by the event graph's happens-before relation will become a real data
+/// race the day that refactor lands. This analyzer finds those pairs now,
+/// while everything is still deterministic and single-threaded:
+///
+///  * The simulator reports its causal structure (event schedule->execute
+///    fork edges, drain joins at run-loop exits, cancellations) and the
+///    analyzer maintains a vector clock per logical task (the host program
+///    plus every executed event).
+///  * Instrumented code declares its synchronization intent: a Section is
+///    a would-be mutex (enter joins the section's last published clock,
+///    exit publishes the current clock), a lease is an ownership handoff
+///    (acquire while held is a diagnostic), and a guard is a
+///    non-reentrant scope (nested entry is a diagnostic).
+///  * Shared host structures (serve queues, version tracker, buffer pool,
+///    stats registries, tracer) are shadow-tracked: every read/write is
+///    checked against the last conflicting access, and any pair unordered
+///    by happens-before is reported as a would-be race.
+///
+/// Vector clocks use strand compression: the first event a task schedules
+/// continues the parent's strand at the next epoch, so completion chains
+/// (the dominant shape here) keep clocks small; only genuine forks create
+/// strands. Drain joins are O(1): the analyzer keeps a global version
+/// counter, records at which version each (strand, epoch) began, and a
+/// task that returns from a blocking run-loop simply remembers that it
+/// joined everything up to the current version.
+///
+/// The analyzer is a process-wide singleton like prof::Profiler: disabled
+/// (the default) every hook is one relaxed atomic load, and enabling it
+/// never perturbs simulated time, scheduling order, or report bytes -
+/// same-seed runs are byte-identical with the analyzer on or off.
+///
+/// Findings convert into check::DiagSink diagnostics through race/Bridge.h
+/// (kept separate so this core depends on fcl_support only and the
+/// simulator itself can link it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_RACE_RACE_H
+#define FCL_RACE_RACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fcl {
+namespace race {
+
+/// What the analyzer can complain about. The check-subsystem mirror of
+/// this catalogue lives in check::DiagKind (race/Bridge.cpp maps them).
+enum class FindingKind {
+  /// Two conflicting accesses to a shared object are unordered by
+  /// happens-before: a data race once tasks move onto OS threads.
+  UnorderedAccess,
+  /// A non-reentrant scope (a callback that must not recurse into itself)
+  /// was entered again while active.
+  ReentrantCallback,
+  /// A device/resource lease was acquired while another holder still held
+  /// it (overlapping ownership).
+  LeaseOverlap,
+};
+
+inline constexpr int NumFindingKinds =
+    static_cast<int>(FindingKind::LeaseOverlap) + 1;
+
+/// Stable snake_case identifier.
+const char *findingKindName(FindingKind Kind);
+
+/// One deduplicated finding: first-occurrence evidence plus a repeat
+/// count, so long serve runs cannot grow finding memory unboundedly.
+struct Finding {
+  FindingKind Kind;
+  /// The shared object / guard / lease the finding is about.
+  std::string Object;
+  /// Human-readable evidence from the first occurrence.
+  std::string Message;
+  /// Occurrences of this (kind, object) pair.
+  uint64_t Repeats = 1;
+};
+
+/// Cheap whole-run counters for summary lines.
+struct Summary {
+  uint64_t TasksExecuted = 0;
+  uint64_t StrandsCreated = 0;
+  uint64_t AccessesChecked = 0;
+  uint64_t SectionOps = 0;
+  uint64_t LeaseOps = 0;
+  uint64_t GuardOps = 0;
+  uint64_t DrainJoins = 0;
+};
+
+/// The process-wide happens-before analyzer.
+class Analyzer {
+public:
+  static Analyzer &instance();
+
+  /// One relaxed load; every instrumentation site checks this before
+  /// paying for a call or for building object names.
+  static bool enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+  void setEnabled(bool On);
+
+  /// Drops all task/shadow/finding state and restarts from a fresh host
+  /// task. Call between independent analyzed runs.
+  void reset();
+
+  // --- Simulator hooks (sim/Simulator.cpp) -------------------------------
+
+  /// The current task scheduled event \p Seq: snapshot the schedule-time
+  /// clock (the fork edge).
+  void onSchedule(uint64_t Seq);
+  /// Event \p Seq starts executing (pushes a task).
+  void onEventBegin(uint64_t Seq);
+  /// The innermost executing event finished (pops a task).
+  void onEventEnd();
+  /// Event \p Seq was cancelled; forget its snapshot.
+  void onCancel(uint64_t Seq);
+  /// A run loop returned to its caller: the caller blocked until every
+  /// event executed so far had finished, so it joins all of them.
+  void onDrainExit();
+
+  // --- Declared synchronization (instrumented code) -----------------------
+  //
+  // Prefer the RAII wrappers (Section / GuardScope) below.
+
+  /// Would-be mutex acquire: joins the section's last published clock.
+  void sectionEnter(const std::string &Name);
+  /// Would-be mutex release: publishes the current task's clock.
+  void sectionExit(const std::string &Name);
+
+  /// Ownership handoff acquire; reports LeaseOverlap when already held.
+  void leaseAcquire(const std::string &Name, const std::string &Holder);
+  void leaseRelease(const std::string &Name);
+
+  /// Non-reentrant scope; reports ReentrantCallback on nested entry.
+  void guardEnter(const std::string &Name);
+  void guardExit(const std::string &Name);
+
+  // --- Shadowed shared-object accesses ------------------------------------
+
+  /// Reports UnorderedAccess when the last conflicting access to
+  /// \p Object does not happen-before the current task.
+  void sharedWrite(const std::string &Object, const char *What);
+  void sharedRead(const std::string &Object, const char *What);
+
+  // --- Results -------------------------------------------------------------
+
+  /// True when any finding was recorded (cheap; no lock ordering hazards).
+  bool hasFindings() const;
+  /// Findings in deterministic (kind, object) order; leaves them in place.
+  std::vector<Finding> findings() const;
+  /// findings(), then clears the finding set (task state is kept).
+  std::vector<Finding> takeFindings();
+  Summary summary() const;
+
+private:
+  Analyzer() { resetLocked(); }
+
+  // Strand-compressed vector clock: strand id -> latest joined epoch.
+  using Clock = std::map<uint32_t, uint64_t>;
+  using ClockPtr = std::shared_ptr<const Clock>;
+
+  /// A published clock: the explicit (small) part plus "everything begun
+  /// up to global version V" from drain joins.
+  struct Stamp {
+    ClockPtr Explicit;
+    uint64_t GlobalV = 0;
+  };
+
+  /// One executing logical task (host, or an event on the task stack).
+  struct Task {
+    uint64_t Seq = 0; // 0 = the host task.
+    uint32_t Strand = 0;
+    uint64_t Epoch = 0;
+    ClockPtr Explicit;
+    uint64_t GlobalV = 0;
+    bool ForkedContinuation = false;
+    /// Sections this task itself has entered and not yet exited (name ->
+    /// depth). Deliberately NOT inherited by nested inline-pumped events:
+    /// on OS threads those would be separate threads not holding the
+    /// outer task's locks.
+    std::map<std::string, uint64_t> Held;
+  };
+
+  /// Fork-edge snapshot taken at schedule time.
+  struct Pending {
+    Stamp At;
+    bool TakesParentStrand = false;
+    uint32_t ParentStrand = 0;
+  };
+
+  struct Access {
+    uint32_t Strand = 0;
+    uint64_t Epoch = 0;
+    std::string What;
+    std::string TaskLabel;
+    /// Sections held by the accessing task at access time: two accesses
+    /// sharing a held section are mutually excluded on OS threads even
+    /// when no release->acquire edge orders them (hybrid lockset rule).
+    std::vector<std::string> Locks;
+  };
+
+  struct Shadow {
+    bool HasWrite = false;
+    Access LastWrite;
+    /// Reads since the last write, newest epoch per strand.
+    std::map<uint32_t, Access> Reads;
+  };
+
+  struct LeaseState {
+    bool Held = false;
+    std::string Holder;
+    Stamp LastRelease;
+  };
+
+  struct GuardState {
+    uint64_t Depth = 0;
+    std::string Holder;
+  };
+
+  void resetLocked();
+  Task &currentLocked();
+  std::string taskLabelLocked() const;
+  /// True when access (Strand, Epoch) happens-before the current task.
+  bool coversLocked(const Task &T, uint32_t Strand, uint64_t Epoch) const;
+  /// Joins \p S into the current task's clock.
+  void joinLocked(Task &T, const Stamp &S);
+  /// The current task's clock as a publishable stamp.
+  Stamp stampLocked(const Task &T) const;
+  /// Monotone stamp union: \p Dst covers everything it did plus \p Src
+  /// (sections accumulate; a would-be mutex acquire happens-after every
+  /// prior release, not just the latest).
+  void mergeStampLocked(Stamp &Dst, const Stamp &Src);
+  /// Mutable copy-on-write access to \p T's explicit clock.
+  Clock &mutableClockLocked(Task &T);
+  uint64_t beginVersionOf(uint32_t Strand, uint64_t Epoch) const;
+  void recordFindingLocked(FindingKind Kind, const std::string &Object,
+                           std::string Message);
+  void checkAccessLocked(Shadow &Sh, const std::string &Object,
+                         const char *What, bool IsWrite);
+
+  static std::atomic<bool> Enabled;
+
+  mutable std::mutex Mu;
+  std::vector<Task> TaskStack; // [0] is the host task.
+  std::map<uint64_t, Pending> PendingBySeq;
+  /// Per strand: epochs begun, with the global version at which each
+  /// began (both columns strictly increase -> binary search).
+  std::map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>> History;
+  std::map<uint32_t, uint64_t> NextEpoch;
+  uint32_t NextStrand = 1;
+  uint64_t GlobalVersion = 0;
+
+  std::map<std::string, Stamp> Sections;
+  std::map<std::string, LeaseState> Leases;
+  std::map<std::string, GuardState> Guards;
+  std::map<std::string, Shadow> Shadows;
+
+  /// Deduplicated findings keyed by (kind, object).
+  std::map<std::pair<int, std::string>, Finding> Findings;
+  std::atomic<uint64_t> FindingCount{0};
+  Summary Sum;
+};
+
+/// RAII would-be critical section. The name must outlive the scope (use
+/// string literals or stable members).
+class Section {
+public:
+  explicit Section(std::string Name) {
+    if (Analyzer::enabled() && !Name.empty()) {
+      Nm = std::move(Name);
+      Analyzer::instance().sectionEnter(Nm);
+    }
+  }
+  ~Section() {
+    if (!Nm.empty())
+      Analyzer::instance().sectionExit(Nm);
+  }
+  Section(const Section &) = delete;
+  Section &operator=(const Section &) = delete;
+
+private:
+  std::string Nm;
+};
+
+/// RAII non-reentrant scope.
+class GuardScope {
+public:
+  explicit GuardScope(std::string Name) {
+    if (Analyzer::enabled() && !Name.empty()) {
+      Nm = std::move(Name);
+      Analyzer::instance().guardEnter(Nm);
+    }
+  }
+  ~GuardScope() {
+    if (!Nm.empty())
+      Analyzer::instance().guardExit(Nm);
+  }
+  GuardScope(const GuardScope &) = delete;
+  GuardScope &operator=(const GuardScope &) = delete;
+
+private:
+  std::string Nm;
+};
+
+} // namespace race
+} // namespace fcl
+
+#endif // FCL_RACE_RACE_H

@@ -7,6 +7,8 @@
 #include "serve/Engine.h"
 
 #include "prof/Profiler.h"
+#include "race/Bridge.h"
+#include "race/Race.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -25,6 +27,14 @@ Engine::Engine(EngineConfig C) : Cfg(std::move(C)) {
   Gens.reserve(Cfg.Streams);
   for (int S = 0; S < Cfg.Streams; ++S)
     Gens.emplace_back(Cfg.Seed, S, Templates);
+  // The threading plan for the engine is one mutex around all queue and
+  // lease state: every externally-entered callback declares this section
+  // and the race analyzer checks that the shared structures stay inside.
+  static uint64_t NextRaceId = 0;
+  RaceSec = "serve.engine#" + std::to_string(NextRaceId++);
+  GpuLeaseName = RaceSec + ".gpu";
+  CpuLeaseName = RaceSec + ".cpu";
+  ReadyObj = RaceSec + ".ready";
 }
 
 Engine::~Engine() = default;
@@ -74,6 +84,7 @@ void Engine::sampleQueueDepth() {
 
 void Engine::onArrival(Req *R) {
   FCL_PROF_SCOPE("serve.admission");
+  race::Section RaceS(RaceSec);
   R->ArrivalAt = Ctx->now();
   ++Submitted;
   if (Ready.size() >= static_cast<size_t>(Cfg.QueueDepth)) {
@@ -90,6 +101,8 @@ void Engine::onArrival(Req *R) {
       scheduleClosedLoopNext(R->Stream, Gens[R->Stream].think(Cfg.Arrival));
     return;
   }
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().sharedWrite(ReadyObj, "push");
   Ready.push_back(R);
   sampleQueueDepth();
   dispatch();
@@ -98,6 +111,8 @@ void Engine::onArrival(Req *R) {
 Engine::Req *Engine::popHead() {
   if (Ready.empty())
     return nullptr;
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().sharedWrite(ReadyObj, "popHead");
   Req *R = Ready.front();
   Ready.pop_front();
   sampleQueueDepth();
@@ -107,6 +122,8 @@ Engine::Req *Engine::popHead() {
 Engine::Req *Engine::takeFirst(bool WantLarge) {
   for (auto It = Ready.begin(); It != Ready.end(); ++It) {
     if ((*It)->Large == WantLarge) {
+      if (race::Analyzer::enabled())
+        race::Analyzer::instance().sharedWrite(ReadyObj, "takeFirst");
       Req *R = *It;
       Ready.erase(It);
       sampleQueueDepth();
@@ -118,6 +135,7 @@ Engine::Req *Engine::takeFirst(bool WantLarge) {
 
 void Engine::dispatch() {
   FCL_PROF_SCOPE("serve.dispatch");
+  race::Section RaceS(RaceSec);
   switch (Cfg.P) {
   case Policy::FifoExclusive:
     // Status quo: the head-of-line job gets the whole pair, strictly FIFO.
@@ -157,9 +175,17 @@ void Engine::startCoop(Req *R) {
   // clock (API overheads), which can re-enter dispatch via completions.
   GpuJob = R;
   GpuLeaseStart = Ctx->now();
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().leaseAcquire(
+        GpuLeaseName,
+        formatString("req %llu", static_cast<unsigned long long>(R->Id)));
   if (Cfg.P == Policy::FifoExclusive) {
     CpuJob = R;
     CpuLeaseStart = Ctx->now();
+    if (race::Analyzer::enabled())
+      race::Analyzer::instance().leaseAcquire(
+          CpuLeaseName,
+          formatString("req %llu", static_cast<unsigned long long>(R->Id)));
   }
   auto Exec = std::make_unique<CoopJobExec>(*Ctx, R->T->W, Cfg.FclOpts,
                                             Cfg.Validate);
@@ -185,6 +211,10 @@ void Engine::startSingle(Req *R, bool OnGpu, bool Backfill) {
     CpuJob = R;
     CpuLeaseStart = Ctx->now();
   }
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().leaseAcquire(
+        OnGpu ? GpuLeaseName : CpuLeaseName,
+        formatString("req %llu", static_cast<unsigned long long>(R->Id)));
   R->Exec = std::make_unique<SingleJobExec>(
       *Ctx, OnGpu ? Ctx->gpu() : Ctx->cpu(), R->T->W, Cfg.Validate);
   R->Exec->start([this, R] { jobDone(R); });
@@ -203,6 +233,7 @@ void Engine::setCorunCpuBusy(bool Busy) {
 
 void Engine::onChunkBoundary(std::function<void()> Resume) {
   FCL_PROF_SCOPE("serve.chunk_yield");
+  race::Section RaceS(RaceSec);
   ++ChunkYields;
   // The cooperative CPU side is now idle: between subkernel chunks it
   // holds no partial state, so the CPU can be lent out whole.
@@ -223,6 +254,7 @@ void Engine::onChunkBoundary(std::function<void()> Resume) {
 }
 
 void Engine::drainResumes() {
+  race::Section RaceS(RaceSec);
   if (PendingResumes.empty())
     return;
   std::vector<std::function<void()>> Rs = std::move(PendingResumes);
@@ -237,6 +269,7 @@ void Engine::drainResumes() {
 
 void Engine::jobDone(Req *R) {
   FCL_PROF_SCOPE("serve.callback");
+  race::Section RaceS(RaceSec);
   R->EndAt = Ctx->now();
   R->Done = true;
   ++CompletedN;
@@ -268,10 +301,14 @@ void Engine::jobDone(Req *R) {
   if (GpuJob == R) {
     GpuBusyNs += (Ctx->now() - GpuLeaseStart).nanos();
     GpuJob = nullptr;
+    if (race::Analyzer::enabled())
+      race::Analyzer::instance().leaseRelease(GpuLeaseName);
   }
   if (CpuJob == R) {
     CpuBusyNs += (Ctx->now() - CpuLeaseStart).nanos();
     CpuJob = nullptr;
+    if (race::Analyzer::enabled())
+      race::Analyzer::instance().leaseRelease(CpuLeaseName);
   }
   if (WasCoop && Cfg.P == Policy::FluidicCorun) {
     // The cooperative job is gone: close its CPU span and drop any resumes
@@ -289,6 +326,11 @@ void Engine::jobDone(Req *R) {
 }
 
 ServeReport Engine::run() {
+  if (Cfg.Races != check::Policy::Off) {
+    race::Analyzer &A = race::Analyzer::instance();
+    A.reset();
+    A.setEnabled(true);
+  }
   if (Cfg.Arrival.Kind == ArrivalKind::Closed) {
     for (int S = 0; S < Cfg.Streams; ++S)
       scheduleClosedLoopNext(S, Gens[S].initialPhase(Cfg.Arrival));
@@ -297,12 +339,41 @@ ServeReport Engine::run() {
   }
   // Drain everything: arrivals, jobs, trailing cooperative transfers.
   Ctx->simulator().run();
+  collectAnalysis();
   ServeReport Report = finalize();
   // Tear down executors only now, at top level: cooperative runtimes
   // FCL_CHECK their queues idle on destruction.
   for (auto &R : Requests)
     R->Exec.reset();
   return Report;
+}
+
+void Engine::collectAnalysis() {
+  if (Cfg.FclOpts.Check != check::Policy::Off) {
+    for (auto &R : Requests) {
+      fluidicl::Runtime *RT = R->Exec ? R->Exec->fclRuntime() : nullptr;
+      if (!RT)
+        continue;
+      // Fires the run-finish invariants (scratch leaks, pool accounting)
+      // while the sink is still collectable; the destructor's finish() is
+      // then a no-op drain.
+      RT->finish();
+      const check::DiagSink &S = RT->diagSink();
+      CheckErrorsN += S.errorCount();
+      CheckWarningsN += S.warningCount();
+      for (const check::Diag &D : S.diags())
+        CheckDiagLines.push_back(D.str());
+    }
+  }
+  if (Cfg.Races != check::Policy::Off) {
+    race::Analyzer &A = race::Analyzer::instance();
+    A.setEnabled(false);
+    check::DiagSink Sink(check::Policy::Warn);
+    race::reportFindings(A.takeFindings(), Sink);
+    RaceFindingsN = Sink.diags().size();
+    for (const check::Diag &D : Sink.diags())
+      RaceDiagLines.push_back(D.str());
+  }
 }
 
 ServeReport Engine::finalize() {
@@ -371,6 +442,13 @@ ServeReport Engine::finalize() {
   Rep.SloMs = Cfg.SloMs;
   Rep.Validated = Cfg.Validate && Cfg.Mode == mcl::ExecMode::Functional;
   Rep.ValidationFailures = ValidationFailuresN;
+  Rep.CheckEnabled = Cfg.FclOpts.Check != check::Policy::Off;
+  Rep.CheckErrors = CheckErrorsN;
+  Rep.CheckWarnings = CheckWarningsN;
+  Rep.CheckDiags = CheckDiagLines;
+  Rep.RacesEnabled = Cfg.Races != check::Policy::Off;
+  Rep.RaceFindings = RaceFindingsN;
+  Rep.RaceDiags = RaceDiagLines;
 
   // Mirror into the fcl::stats registry (the observability view; the
   // tool's --stats-json embeds it verbatim).
@@ -385,6 +463,14 @@ ServeReport Engine::finalize() {
   St.add("serve_chunk_yields", ChunkYields);
   St.add("serve_slo_violations", Rep.SloViolations);
   St.add("serve_validation_failures", ValidationFailuresN);
+  // Analysis counters only when something was found: a clean analyzed run
+  // must keep the exact bytes of an unanalyzed one.
+  if (CheckErrorsN || CheckWarningsN) {
+    St.add("serve_check_errors", CheckErrorsN);
+    St.add("serve_check_warnings", CheckWarningsN);
+  }
+  if (RaceFindingsN)
+    St.add("serve_race_findings", RaceFindingsN);
   St.set("serve_e2e_p50_ms", Rep.E2e.P50);
   St.set("serve_e2e_p95_ms", Rep.E2e.P95);
   St.set("serve_e2e_p99_ms", Rep.E2e.P99);

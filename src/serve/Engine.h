@@ -61,6 +61,12 @@ struct EngineConfig {
   uint64_t LargeThreshold = 64;
   MixKind Mix = MixKind::Mixed;
   fluidicl::Options FclOpts;
+  /// fcl::race integration: Warn/Fail enable the happens-before analyzer
+  /// around the run and collect its findings into the report (Fail makes
+  /// the tool exit non-zero when any finding was recorded). The analyzer
+  /// never perturbs simulated time, so same-seed reports are byte-identical
+  /// with it on or off.
+  check::Policy Races = check::Policy::Off;
   /// Validate results against the host reference (functional mode only).
   bool Validate = false;
   /// End-to-end SLO in milliseconds; 0 disables the check.
@@ -111,6 +117,10 @@ private:
   Req *takeFirst(bool WantLarge);
   Req *popHead();
   void sampleQueueDepth();
+  /// Drains per-job runtime check diagnostics and fcl::race findings into
+  /// the aggregate members below (run() calls it after the simulator is
+  /// idle, before executors are torn down).
+  void collectAnalysis();
   ServeReport finalize();
 
   EngineConfig Cfg;
@@ -149,6 +159,22 @@ private:
   uint64_t ChunkYields = 0;
   uint64_t ValidationFailuresN = 0;
   TimePoint LastEnd;
+
+  /// fcl::race instrumentation names: the would-be engine lock (the
+  /// threading plan is one mutex per engine around all queue/lease state)
+  /// plus the two device leases and the admission-queue shadow object.
+  /// Instance-numbered like fluidicl::Runtime's section.
+  std::string RaceSec;
+  std::string GpuLeaseName;
+  std::string CpuLeaseName;
+  std::string ReadyObj;
+
+  // Aggregated fcl::check / fcl::race outcome (collectAnalysis()).
+  uint64_t CheckErrorsN = 0;
+  uint64_t CheckWarningsN = 0;
+  std::vector<std::string> CheckDiagLines;
+  uint64_t RaceFindingsN = 0;
+  std::vector<std::string> RaceDiagLines;
 };
 
 } // namespace serve

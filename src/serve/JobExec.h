@@ -59,6 +59,11 @@ public:
   /// True when functional validation ran and the results were wrong.
   bool validationFailed() const { return ValidationFailed; }
 
+  /// The job's FluidiCL runtime when it has one (cooperative executors
+  /// only); the engine drains its check diagnostics into the serve report
+  /// before tear-down. Null for single-device executors.
+  virtual fluidicl::Runtime *fclRuntime() { return nullptr; }
+
 protected:
   bool ValidationFailed = false;
 };
@@ -74,6 +79,8 @@ public:
   /// The job's private runtime (the engine installs its chunk-yield hook
   /// here before start()).
   fluidicl::Runtime &runtime() { return *RT; }
+
+  fluidicl::Runtime *fclRuntime() override { return RT.get(); }
 
 private:
   void launchNext();

@@ -109,6 +109,32 @@ std::string ServeReport::toJson() const {
   J += formatString("    \"failures\": %llu\n",
                     static_cast<unsigned long long>(ValidationFailures));
   J += "  },\n";
+  // Analysis verdicts appear only when something was found: a clean
+  // --check/--races run must serialize to the same bytes as a plain run.
+  if (!CheckDiags.empty()) {
+    J += "  \"check\": {\n";
+    J += formatString("    \"errors\": %llu,\n",
+                      static_cast<unsigned long long>(CheckErrors));
+    J += formatString("    \"warnings\": %llu,\n",
+                      static_cast<unsigned long long>(CheckWarnings));
+    J += "    \"diags\": [";
+    for (size_t I = 0; I < CheckDiags.size(); ++I)
+      J += formatString("%s\n      \"%s\"", I ? "," : "",
+                        jsonEscape(CheckDiags[I]).c_str());
+    J += "\n    ]\n";
+    J += "  },\n";
+  }
+  if (!RaceDiags.empty()) {
+    J += "  \"races\": {\n";
+    J += formatString("    \"findings\": %llu,\n",
+                      static_cast<unsigned long long>(RaceFindings));
+    J += "    \"diags\": [";
+    for (size_t I = 0; I < RaceDiags.size(); ++I)
+      J += formatString("%s\n      \"%s\"", I ? "," : "",
+                        jsonEscape(RaceDiags[I]).c_str());
+    J += "\n    ]\n";
+    J += "  },\n";
+  }
   // The fcl::stats mirror: std::map iteration gives lexicographic, i.e.
   // deterministic, key order.
   J += "  \"stats\": {\n";
@@ -176,6 +202,19 @@ std::string ServeReport::toText() const {
   if (Validated)
     T += formatString("validation: %llu failure(s)\n",
                       static_cast<unsigned long long>(ValidationFailures));
+  if (CheckEnabled) {
+    T += formatString("check: %llu error(s), %llu warning(s)\n",
+                      static_cast<unsigned long long>(CheckErrors),
+                      static_cast<unsigned long long>(CheckWarnings));
+    for (const std::string &D : CheckDiags)
+      T += "  " + D + "\n";
+  }
+  if (RacesEnabled) {
+    T += formatString("races: %llu finding(s)\n",
+                      static_cast<unsigned long long>(RaceFindings));
+    for (const std::string &D : RaceDiags)
+      T += "  " + D + "\n";
+  }
   return T;
 }
 

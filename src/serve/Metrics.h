@@ -113,6 +113,18 @@ struct ServeReport {
   bool Validated = false;
   uint64_t ValidationFailures = 0;
 
+  // fcl::check / fcl::race outcome (serve --check / --races). The JSON
+  // emits the "check"/"races" objects only when diagnostics exist, so a
+  // clean analyzed run serializes to the exact bytes of an unanalyzed one
+  // (the determinism gates rely on this).
+  bool CheckEnabled = false;
+  uint64_t CheckErrors = 0;
+  uint64_t CheckWarnings = 0;
+  std::vector<std::string> CheckDiags; // Rendered, deterministic order.
+  bool RacesEnabled = false;
+  uint64_t RaceFindings = 0;
+  std::vector<std::string> RaceDiags; // Rendered, deterministic order.
+
   /// Counter/gauge mirror of the numbers above (the fcl::stats view).
   stats::Registry Stats;
 

@@ -7,6 +7,7 @@
 #include "sim/Simulator.h"
 
 #include "prof/Profiler.h"
+#include "race/Race.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -43,6 +44,8 @@ EventId Simulator::scheduleAt(TimePoint At, Callback Fn) {
   Queue.push(Entry{At, Seq});
   CallbackBySeq.push_back(SeqCallback{Seq, std::move(Fn)});
   ++Live;
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().onSchedule(Seq);
   return EventId(Seq);
 }
 
@@ -80,6 +83,8 @@ bool Simulator::cancel(EventId Id) {
     return false;
   ++Cancelled;
   Callback Fn = takeCallback(Id.Seq);
+  if (Fn && race::Analyzer::enabled())
+    race::Analyzer::instance().onCancel(Id.Seq);
   return Fn != nullptr;
 }
 
@@ -95,7 +100,14 @@ bool Simulator::step() {
     assert(Top.At >= Now && "event queue went backwards");
     Now = Top.At;
     ++Executed;
-    Fn();
+    if (race::Analyzer::enabled()) {
+      race::Analyzer &RA = race::Analyzer::instance();
+      RA.onEventBegin(Top.Seq);
+      Fn();
+      RA.onEventEnd();
+    } else {
+      Fn();
+    }
     return true;
   }
   return false;
@@ -108,9 +120,20 @@ bool Simulator::step() {
 // scoping every re-entry would charge two timestamp reads per nesting
 // level for no extra information. Counter deltas flush on outermost exit.
 
+// Returning from any run loop is a drain: the caller blocked until every
+// event executed so far had finished, which orders it after all of them.
+// The analyzer join is O(1) (a version watermark), so every exit path
+// reports it.
+static void raceDrainExit() {
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().onDrainExit();
+}
+
 void Simulator::run() {
-  if (Queue.empty())
+  if (Queue.empty()) {
+    raceDrainExit();
     return;
+  }
   bool Outer = !InRunLoop;
   InRunLoop = true;
   {
@@ -124,6 +147,7 @@ void Simulator::run() {
     InRunLoop = false;
     flushProfCounters();
   }
+  raceDrainExit();
 }
 
 void Simulator::runUntil(TimePoint Deadline) {
@@ -146,6 +170,7 @@ void Simulator::runUntil(TimePoint Deadline) {
     }
   }
   Now = Deadline;
+  raceDrainExit();
 }
 
 bool Simulator::runWhileNot(const std::function<bool()> &Pred) {
@@ -171,5 +196,6 @@ bool Simulator::runWhileNot(const std::function<bool()> &Pred) {
     InRunLoop = false;
     flushProfCounters();
   }
+  raceDrainExit();
   return Satisfied;
 }

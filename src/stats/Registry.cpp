@@ -6,14 +6,26 @@
 
 #include "stats/Registry.h"
 
+#include "race/Race.h"
+
+#include <atomic>
+
 using namespace fcl;
 using namespace fcl::stats;
 
+Registry::Registry() {
+  static std::atomic<uint64_t> NextRaceId{0};
+  RaceSec = "stats.registry#" +
+            std::to_string(NextRaceId.fetch_add(1, std::memory_order_relaxed));
+}
+
 void Registry::add(const std::string &Name, uint64_t Delta) {
+  race::Section RaceS(RaceSec);
   Counters[Name] += Delta;
 }
 
 void Registry::set(const std::string &Name, double Value) {
+  race::Section RaceS(RaceSec);
   Gauges[Name] = Value;
 }
 
@@ -28,6 +40,7 @@ double Registry::gauge(const std::string &Name) const {
 }
 
 void Registry::mergeFrom(const Registry &Other) {
+  race::Section RaceS(RaceSec);
   for (const auto &[Name, Value] : Other.Counters)
     Counters[Name] += Value;
   for (const auto &[Name, Value] : Other.Gauges)

@@ -27,6 +27,8 @@ namespace stats {
 /// every export is deterministic.
 class Registry {
 public:
+  Registry();
+
   /// Adds \p Delta to counter \p Name (creating it at 0).
   void add(const std::string &Name, uint64_t Delta = 1);
 
@@ -52,6 +54,9 @@ public:
 private:
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, double> Gauges;
+  /// fcl::race critical-section name: counter/gauge mutations from
+  /// different logical tasks are declared mutex-protected per registry.
+  std::string RaceSec;
 };
 
 } // namespace stats

@@ -6,10 +6,12 @@
 
 #include "trace/Tracer.h"
 
+#include "race/Race.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <map>
 
@@ -18,9 +20,16 @@ using namespace fcl::trace;
 
 static prof::Counter ProfRecords("trace.records");
 
+Tracer::Tracer() {
+  static std::atomic<uint64_t> NextRaceId{0};
+  RaceSec = "trace.tracer#" +
+            std::to_string(NextRaceId.fetch_add(1, std::memory_order_relaxed));
+}
+
 void Tracer::record(std::string Lane, std::string Name, TimePoint Start,
                     TimePoint End, std::string Detail) {
   FCL_PROF_SCOPE("trace.record");
+  race::Section RaceS(RaceSec);
   ProfRecords.add();
   FCL_CHECK(End >= Start, "trace slice ends before it starts");
   TraceEvent E;
@@ -33,6 +42,7 @@ void Tracer::record(std::string Lane, std::string Name, TimePoint Start,
 }
 
 void Tracer::counter(std::string Track, TimePoint At, double Value) {
+  race::Section RaceS(RaceSec);
   CounterSample S;
   S.Track = std::move(Track);
   S.At = At;

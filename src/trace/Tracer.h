@@ -52,6 +52,8 @@ struct CounterSample {
 /// Collects slices and counter samples and renders them as a Chrome trace.
 class Tracer {
 public:
+  Tracer();
+
   /// Records a slice; \p End must not precede \p Start.
   void record(std::string Lane, std::string Name, TimePoint Start,
               TimePoint End, std::string Detail = std::string());
@@ -96,6 +98,9 @@ public:
 private:
   std::vector<TraceEvent> Events;
   std::vector<CounterSample> Counters;
+  /// fcl::race critical-section name: writes from different logical tasks
+  /// are declared mutex-protected per tracer.
+  std::string RaceSec;
 };
 
 } // namespace trace

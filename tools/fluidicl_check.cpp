@@ -11,6 +11,10 @@
 ///   fluidicl_check --no-runtimes   # oracle sweep only
 ///   fluidicl_check --fixtures      # analyzer self-test on the seeded
 ///                                  # misdeclaration fixtures
+///   fluidicl_check --races=fail    # also run the happens-before race
+///                                  # analyzer over the replay
+///   fluidicl_check --race-fixtures # race-analyzer self-test on the
+///                                  # seeded concurrency-hazard fixtures
 ///
 /// The default mode probes a coverage suite that launches every built-in
 /// kernel (access-footprint verification), then replays the same suite
@@ -24,6 +28,8 @@
 #include "check/Checker.h"
 #include "check/Fixtures.h"
 #include "fluidicl/Runtime.h"
+#include "race/Bridge.h"
+#include "race/Fixtures.h"
 #include "runtime/SingleDevice.h"
 #include "runtime/StaticPartition.h"
 #include "socl/SoclRuntime.h"
@@ -126,7 +132,14 @@ int main(int Argc, char **Argv) {
   ArgParser Args("fluidicl_check",
                  "verify fluidic-safety metadata of every registered kernel");
   Args.addFlag("fixtures", "run the analyzer self-test fixtures instead");
+  Args.addFlag("race-fixtures",
+               "run the race-analyzer self-test on the seeded "
+               "concurrency-hazard fixtures instead");
   Args.addFlag("no-runtimes", "skip the functional cross-runtime replay");
+  Args.addOption("races",
+                 "happens-before race analysis over the cross-runtime "
+                 "replay: off|warn|fail",
+                 "off");
   Args.addOption("budget", "oracle probe budget in bytes", "1073741824");
   Args.addOption("machine",
                  std::string("simulated machine: ") + hw::machineNames(),
@@ -151,6 +164,15 @@ int main(int Argc, char **Argv) {
 
   if (Args.flag("fixtures"))
     return runFixtureSweep() == 0 ? 0 : 1;
+  if (Args.flag("race-fixtures"))
+    return race::runFixtureSweep(/*Verbose=*/true) ? 0 : 1;
+
+  check::Policy RacesPol = check::Policy::Off;
+  if (!check::parsePolicy(Args.str("races"), RacesPol)) {
+    std::fprintf(stderr, "error: bad --races value '%s' (off|warn|fail)\n",
+                 Args.str("races").c_str());
+    return 1;
+  }
 
   check::DiagSink Sink(check::Policy::Fail);
   std::vector<check::KernelVerdict> Verdicts = check::checkAllKernels(
@@ -166,9 +188,23 @@ int main(int Argc, char **Argv) {
   int RuntimeFailures = 0;
   if (!Args.flag("no-runtimes")) {
     std::printf("\nfunctional cross-runtime replay:\n");
+    race::armAnalyzer(RacesPol);
     for (const char *R : {"cpu", "gpu", "static", "socl-eager", "fluidicl"})
       RuntimeFailures += runCoverageUnder(R, M);
   }
 
-  return (Sink.shouldFail() || AnyNotCovered || RuntimeFailures > 0) ? 1 : 0;
+  bool RacesFailed = false;
+  if (RacesPol != check::Policy::Off && !Args.flag("no-runtimes")) {
+    check::DiagSink RaceSink(check::Policy::Warn);
+    size_t N = race::disarmAnalyzer(RaceSink);
+    if (N > 0)
+      std::printf("%s", RaceSink.renderAll().c_str());
+    std::printf("races: %zu finding(s) over the replay\n", N);
+    RacesFailed = RacesPol == check::Policy::Fail && N > 0;
+  }
+
+  return (Sink.shouldFail() || AnyNotCovered || RuntimeFailures > 0 ||
+          RacesFailed)
+             ? 1
+             : 0;
 }

@@ -14,7 +14,8 @@
 ///
 /// Exit status: 0 on success, 1 on usage errors, 2 when --slo-ms was given
 /// and any completed request missed the SLO, 3 on validation failures
-/// (--functional --validate).
+/// (--functional --validate), 4 on check error diagnostics under
+/// --check=fail, 5 on race findings under --races=fail.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +68,16 @@ int main(int Argc, char **Argv) {
   Args.addOption("stats-json", "write the serve report JSON here", "");
   Args.addOption("requests-csv", "write per-request CSV here", "");
   Args.addOption("trace", "write a Chrome/Perfetto trace here", "");
+  Args.addOption("check",
+                 "fluidic-safety checking in every cooperative job's "
+                 "runtime: off|warn|fail (fail -> exit 4 on error "
+                 "diagnostics)",
+                 "off");
+  Args.addOption("races",
+                 "happens-before race analysis over the whole run: "
+                 "off|warn|fail (fail -> exit 5 on findings; never "
+                 "perturbs the report bytes)",
+                 "off");
   Args.addFlag("functional", "execute kernels for real");
   Args.addFlag("prof",
                "collect a wall-clock host profile and print the top "
@@ -119,6 +130,16 @@ int main(int Argc, char **Argv) {
   Cfg.Mode = Args.flag("functional") ? mcl::ExecMode::Functional
                                      : mcl::ExecMode::TimingOnly;
   Cfg.Validate = Args.flag("validate");
+  if (!check::parsePolicy(Args.str("check"), Cfg.FclOpts.Check)) {
+    std::fprintf(stderr, "error: bad --check value '%s' (off|warn|fail)\n",
+                 Args.str("check").c_str());
+    return 1;
+  }
+  if (!check::parsePolicy(Args.str("races"), Cfg.Races)) {
+    std::fprintf(stderr, "error: bad --races value '%s' (off|warn|fail)\n",
+                 Args.str("races").c_str());
+    return 1;
+  }
   if (Cfg.Streams <= 0 || Cfg.Horizon <= Duration::zero()) {
     std::fprintf(stderr, "error: need positive --streams and --duration\n");
     return 1;
@@ -176,6 +197,18 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(Report.SloViolations),
                  Report.SloMs);
     return 2;
+  }
+  if (Cfg.FclOpts.Check == check::Policy::Fail && Report.CheckErrors > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu check error diagnostic(s) under --check=fail\n",
+                 static_cast<unsigned long long>(Report.CheckErrors));
+    return 4;
+  }
+  if (Cfg.Races == check::Policy::Fail && Report.RaceFindings > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu race finding(s) under --races=fail\n",
+                 static_cast<unsigned long long>(Report.RaceFindings));
+    return 5;
   }
   return 0;
 }

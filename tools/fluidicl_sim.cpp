@@ -19,6 +19,7 @@
 #include "check/Fixtures.h"
 #include "fluidicl/Runtime.h"
 #include "prof/Profiler.h"
+#include "race/Bridge.h"
 #include "runtime/SingleDevice.h"
 #include "runtime/StaticPartition.h"
 #include "socl/SoclRuntime.h"
@@ -206,6 +207,10 @@ int main(int Argc, char **Argv) {
   Args.addFlag("check-fixtures",
                "also probe the deliberately misdeclared fixture kernels "
                "(with --check=fail the run exits non-zero)");
+  Args.addOption("races",
+                 "happens-before race analysis over every run: "
+                 "off|warn|fail (never perturbs the simulated results)",
+                 "off");
   Args.addOption("trace", "write a Chrome trace JSON to this path", "");
   Args.addFlag("stats", "print per-run counter/utilization summaries");
   Args.addFlag("prof",
@@ -255,9 +260,16 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   Cfg.FclOpts.Check = CheckPol;
+  check::Policy RacesPol = check::Policy::Off;
+  if (!check::parsePolicy(Args.str("races"), RacesPol)) {
+    std::fprintf(stderr, "error: bad --races value '%s' (off|warn|fail)\n",
+                 Args.str("races").c_str());
+    return 1;
+  }
 
   if (Args.flag("prof"))
     prof::Profiler::instance().setEnabled(true);
+  race::armAnalyzer(RacesPol);
 
   std::vector<Workload> Loads =
       selectWorkloads(Args.str("workload"), Args.i64("size"));
@@ -340,9 +352,23 @@ int main(int Argc, char **Argv) {
         "\n%s",
         prof::Profiler::instance().snapshot().renderText(/*TopN=*/10).c_str());
   }
+  bool RacesFailed = false;
+  if (RacesPol != check::Policy::Off) {
+    check::DiagSink RaceSink(check::Policy::Warn);
+    size_t N = race::disarmAnalyzer(RaceSink);
+    if (N > 0)
+      std::printf("%s", RaceSink.renderAll().c_str());
+    std::printf("races: %zu finding(s)\n", N);
+    RacesFailed = RacesPol == check::Policy::Fail && N > 0;
+  }
   if (OracleSink.shouldFail() || CheckFailed)
     std::fprintf(stderr,
                  "check: error diagnostics under --check=fail; exiting "
                  "non-zero\n");
-  return (AnyInvalid || OracleSink.shouldFail() || CheckFailed) ? 1 : 0;
+  if (RacesFailed)
+    std::fprintf(stderr,
+                 "races: findings under --races=fail; exiting non-zero\n");
+  return (AnyInvalid || OracleSink.shouldFail() || CheckFailed || RacesFailed)
+             ? 1
+             : 0;
 }

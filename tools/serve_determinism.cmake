@@ -1,11 +1,13 @@
 # Determinism gate for fluidicl_serve: two runs with identical seed and
-# configuration must produce byte-identical report JSON. Invoked by ctest
-# as
+# configuration must produce byte-identical report JSON, and a third run
+# with the whole analysis stack armed (--check=fail --races=fail) must
+# still exit 0 AND produce the very same bytes - the analyzers observe,
+# they never perturb. Invoked by ctest as
 #
 #   cmake -DTOOL=<fluidicl_serve> -DOUT_DIR=<scratch dir> -P serve_determinism.cmake
 #
-# and fails (FATAL_ERROR) when either run exits non-zero or the two JSON
-# documents differ.
+# and fails (FATAL_ERROR) when any run exits non-zero or any pair of JSON
+# documents differs.
 
 if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "serve_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
@@ -25,13 +27,30 @@ foreach(RUN a b)
   endif()
 endforeach()
 
+# Run c: protocol checking and the happens-before race analyzer both armed
+# at their failing policy. Exit 0 proves the multi-tenant run is clean;
+# byte-equality with run a proves the analyzers never touch the report.
 execute_process(
-  COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${OUT_DIR}/serve-a.json" "${OUT_DIR}/serve-b.json"
-  RESULT_VARIABLE DIFF)
-if(NOT DIFF EQUAL 0)
+  COMMAND "${TOOL}" ${ARGS} --check=fail --races=fail
+          "--stats-json=${OUT_DIR}/serve-c.json"
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
   message(FATAL_ERROR
-          "same-seed serve runs produced different JSON "
-          "(${OUT_DIR}/serve-a.json vs ${OUT_DIR}/serve-b.json)")
+          "fluidicl_serve --check=fail --races=fail exited with ${RC} "
+          "(protocol or race findings under multi-tenant load)")
 endif()
-message(STATUS "same-seed serve reports are byte-identical")
+
+foreach(RUN b c)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT_DIR}/serve-a.json" "${OUT_DIR}/serve-${RUN}.json"
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "same-seed serve runs produced different JSON "
+            "(${OUT_DIR}/serve-a.json vs ${OUT_DIR}/serve-${RUN}.json)")
+  endif()
+endforeach()
+message(STATUS "same-seed serve reports are byte-identical "
+               "(analyzers on and off)")
