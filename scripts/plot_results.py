@@ -21,15 +21,25 @@ import os
 import sys
 
 
+def warn(msg):
+    print(f"plot_results.py: warning: {msg}", file=sys.stderr)
+
+
 def load(path):
+    """Returns (header, body), or (None, None) for an empty or
+    header-only CSV (e.g. a harness that was interrupted mid-run)."""
     with open(path, newline="") as f:
         rows = list(csv.reader(f))
-    header, body = rows[0], rows[1:]
-    return header, body
+    if len(rows) < 2:
+        return None, None
+    return rows[0], rows[1:]
 
 
 def plot_series(plt, path, xlabel, ylabel, title, xcol=0):
     header, body = load(path)
+    if header is None:
+        warn(f"skipping {path}: empty or header-only CSV")
+        return 0
     xs = [row[xcol] for row in body]
     numeric_x = all(v.replace(".", "", 1).lstrip("-").isdigit() for v in xs)
     xvals = [float(v) for v in xs] if numeric_x else range(len(xs))
@@ -51,10 +61,14 @@ def plot_series(plt, path, xlabel, ylabel, title, xcol=0):
     fig.tight_layout()
     fig.savefig(out, dpi=140)
     print(f"wrote {out}")
+    return 1
 
 
 def plot_grouped_bars(plt, path, ylabel, title, normalize_to=None):
     header, body = load(path)
+    if header is None:
+        warn(f"skipping {path}: empty or header-only CSV")
+        return 0
     benchmarks = [row[0] for row in body]
     series = header[1:]
     fig, ax = plt.subplots(figsize=(9, 4))
@@ -76,6 +90,7 @@ def plot_grouped_bars(plt, path, ylabel, title, normalize_to=None):
     fig.tight_layout()
     fig.savefig(out, dpi=140)
     print(f"wrote {out}")
+    return 1
 
 
 KNOWN = {
@@ -168,12 +183,13 @@ def main():
     for name, spec in KNOWN.items():
         path = os.path.join(directory, name)
         if not os.path.exists(path):
+            warn(f"skipping {name}: not found in {directory} "
+                 "(its bench harness did not run?)")
             continue
-        found += 1
         if spec[0] == "series":
-            plot_series(plt, path, spec[1], spec[2], spec[3])
+            found += plot_series(plt, path, spec[1], spec[2], spec[3])
         else:
-            plot_grouped_bars(plt, path, spec[1], spec[2])
+            found += plot_grouped_bars(plt, path, spec[1], spec[2])
     found += plot_device_split(plt, directory)
     if not found:
         sys.exit(f"no known CSV or *.stats.json files found in {directory}; "

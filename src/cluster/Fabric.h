@@ -1,0 +1,103 @@
+//===- cluster/Fabric.h - Deterministic epoch-barrier fabric ----*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-pair message fabric of fcl::cluster, reduced to its essence: a
+/// bulk-synchronous epoch barrier. Worker threads advance their private
+/// simulators in lockstep quanta; between quanta every worker is parked
+/// here and the master (alone) drains outcome outboxes, steals queued work
+/// and injects the next epoch's arrivals. Because every cross-thread
+/// transfer happens at a barrier - never while a simulator is running -
+/// the interleaving of OS threads cannot change what any simulator
+/// observes, which is what makes same-seed cluster runs byte-identical
+/// regardless of core count or scheduling.
+///
+/// Protocol (master side / worker side):
+///
+///   masterAwaitParked();      //               | awaitEpoch(Seen, E) parks,
+///   ... exclusive access ...  //               | then blocks until the
+///   releaseEpoch(++E);        // wakes workers | master publishes E > Seen.
+///
+/// stopAll() releases every parked worker with a shutdown verdict
+/// (awaitEpoch returns false) so threads can be joined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CLUSTER_FABRIC_H
+#define FCL_CLUSTER_FABRIC_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fcl {
+namespace cluster {
+
+/// Race-analyzer channel names for the barrier's two happens-before edges.
+/// The master publishes `EpochReleaseChan` after its between-epochs phase
+/// (workers join it before advancing), and every worker publishes
+/// `EpochParkChan` after its quantum (the master joins it when all are
+/// parked). Together they tell fcl::race exactly what the barrier
+/// guarantees - no more, no less.
+inline const char *epochReleaseChan() { return "cluster.fabric.release"; }
+inline const char *epochParkChan() { return "cluster.fabric.park"; }
+
+/// Master/worker epoch barrier. One instance per cluster; `Workers` worker
+/// threads plus exactly one master thread participate.
+class EpochBarrier {
+public:
+  explicit EpochBarrier(int Workers) : Workers(Workers) {}
+
+  /// Worker: parks this thread, then blocks until the master releases an
+  /// epoch newer than \p LastSeen (stored to \p EpochOut) or shuts the
+  /// fabric down (returns false).
+  bool awaitEpoch(uint64_t LastSeen, uint64_t &EpochOut) {
+    std::unique_lock<std::mutex> Lock(M);
+    ++Parked;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Stop || Epoch > LastSeen; });
+    if (Stop)
+      return false;
+    EpochOut = Epoch;
+    return true;
+  }
+
+  /// Master: blocks until every worker is parked. On return the master has
+  /// exclusive access to all worker state until releaseEpoch()/stopAll().
+  void masterAwaitParked() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Parked == Workers; });
+  }
+
+  /// Master: publishes epoch \p E (must increase) and wakes all workers.
+  void releaseEpoch(uint64_t E) {
+    std::lock_guard<std::mutex> Lock(M);
+    Parked = 0;
+    Epoch = E;
+    Cv.notify_all();
+  }
+
+  /// Master: wakes everyone with a shutdown verdict; awaitEpoch() returns
+  /// false from now on.
+  void stopAll() {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+    Cv.notify_all();
+  }
+
+private:
+  const int Workers;
+  std::mutex M;
+  std::condition_variable Cv;
+  int Parked = 0;
+  uint64_t Epoch = 0;
+  bool Stop = false;
+};
+
+} // namespace cluster
+} // namespace fcl
+
+#endif // FCL_CLUSTER_FABRIC_H

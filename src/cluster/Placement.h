@@ -1,0 +1,68 @@
+//===- cluster/Placement.h - Cluster job placement policies -----*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable master-side placement: which worker pair an arriving job is
+/// assigned to. Placement is decided at epoch boundaries from the master's
+/// own outstanding-work bookkeeping (never from worker-internal state that
+/// another thread might be mutating), so decisions are deterministic.
+///
+///   hash   - hash-affine: all jobs of a stream go to one worker (stable
+///            stream->worker map; models session affinity, no balancing).
+///   least  - least-loaded: the worker with the fewest outstanding jobs
+///            (ties to the lowest index).
+///   size   - size-aware: the worker with the smallest outstanding
+///            work-group sum, so one heavy job counts for many light ones
+///            (Soldado-style compound-computation awareness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_CLUSTER_PLACEMENT_H
+#define FCL_CLUSTER_PLACEMENT_H
+
+#include <string>
+
+namespace fcl {
+namespace cluster {
+
+enum class Placement {
+  HashAffine,
+  LeastLoaded,
+  SizeAware,
+};
+
+inline const char *placementName(Placement P) {
+  switch (P) {
+  case Placement::HashAffine:
+    return "hash";
+  case Placement::LeastLoaded:
+    return "least";
+  case Placement::SizeAware:
+    return "size";
+  }
+  return "?";
+}
+
+inline bool parsePlacement(const std::string &Name, Placement &Out) {
+  if (Name == "hash") {
+    Out = Placement::HashAffine;
+    return true;
+  }
+  if (Name == "least") {
+    Out = Placement::LeastLoaded;
+    return true;
+  }
+  if (Name == "size") {
+    Out = Placement::SizeAware;
+    return true;
+  }
+  return false;
+}
+
+} // namespace cluster
+} // namespace fcl
+
+#endif // FCL_CLUSTER_PLACEMENT_H

@@ -15,6 +15,14 @@ namespace fcl::race {
 
 std::atomic<bool> Analyzer::Enabled{false};
 
+namespace {
+/// The calling thread's slot in Analyzer::Threads, valid while TlsGen
+/// matches Analyzer::ThreadGen. Plain thread_locals (not thread ids) so
+/// nothing nondeterministic ever feeds analysis results.
+thread_local uint64_t TlsGen = 0;
+thread_local size_t TlsSlot = 0;
+} // namespace
+
 const char *findingKindName(FindingKind Kind) {
   switch (Kind) {
   case FindingKind::UnorderedAccess:
@@ -41,12 +49,42 @@ void Analyzer::reset() {
   resetLocked();
 }
 
+uint32_t Analyzer::allocDomain() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextDomain++;
+}
+
+Analyzer::Task Analyzer::makeRootLocked(size_t Slot) {
+  Task Root;
+  Root.Seq = 0;
+  Root.Strand = Slot == 0 ? 0 : NextStrand++;
+  Root.Epoch = 1;
+  auto C = std::make_shared<Clock>();
+  (*C)[Root.Strand] = 1;
+  Root.Explicit = std::move(C);
+  NextEpoch[Root.Strand] = 2;
+  if (Slot == 0) {
+    // The host root: strand 0, epoch 1, begun at version 0 (everything
+    // covers it - the host schedules the first events).
+    History[0].push_back(HistEntry{1, 0, 0});
+  } else {
+    // Worker-thread roots begin at a real version in no domain, so they
+    // are covered only by explicit clock/channel edges, never by drains.
+    ++Sum.StrandsCreated;
+    ++GlobalVersion;
+    History[Root.Strand].push_back(HistEntry{1, GlobalVersion, NoDomain});
+  }
+  return Root;
+}
+
 void Analyzer::resetLocked() {
-  TaskStack.clear();
+  Threads.clear();
+  ++ThreadGen;
   PendingBySeq.clear();
   History.clear();
   NextEpoch.clear();
   Sections.clear();
+  Channels.clear();
   Leases.clear();
   Guards.clear();
   Shadows.clear();
@@ -55,48 +93,61 @@ void Analyzer::resetLocked() {
   Sum = Summary();
   NextStrand = 1;
   GlobalVersion = 0;
-  // The host task: strand 0, epoch 1, begun at version 0 (everything
-  // covers it - the host schedules the first events).
-  Task Host;
-  Host.Seq = 0;
-  Host.Strand = 0;
-  Host.Epoch = 1;
-  auto C = std::make_shared<Clock>();
-  (*C)[0] = 1;
-  Host.Explicit = std::move(C);
-  Host.GlobalV = 0;
-  NextEpoch[0] = 2;
-  History[0].emplace_back(1, 0);
-  TaskStack.push_back(std::move(Host));
+  // The resetting thread is the host (slot 0).
+  TlsGen = ThreadGen;
+  TlsSlot = 0;
+  auto TS = std::make_unique<ThreadState>();
+  TS->Slot = 0;
+  TS->Stack.push_back(makeRootLocked(0));
+  Threads.push_back(std::move(TS));
+}
+
+Analyzer::ThreadState &Analyzer::stateLocked() {
+  if (TlsGen != ThreadGen) {
+    TlsGen = ThreadGen;
+    TlsSlot = Threads.size();
+    auto TS = std::make_unique<ThreadState>();
+    TS->Slot = TlsSlot;
+    TS->Stack.push_back(makeRootLocked(TlsSlot));
+    Threads.push_back(std::move(TS));
+  }
+  return *Threads[TlsSlot];
 }
 
 Analyzer::Task &Analyzer::currentLocked() {
-  FCL_CHECK(!TaskStack.empty(), "race analyzer has no current task");
-  return TaskStack.back();
+  ThreadState &S = stateLocked();
+  FCL_CHECK(!S.Stack.empty(), "race analyzer has no current task");
+  return S.Stack.back();
 }
 
-std::string Analyzer::taskLabelLocked() const {
-  const Task &T = TaskStack.back();
-  if (T.Seq == 0)
-    return "host";
+std::string Analyzer::taskLabelLocked() {
+  ThreadState &S = stateLocked();
+  const Task &T = S.Stack.back();
+  if (T.Seq == 0) {
+    if (S.Slot == 0)
+      return "host";
+    std::ostringstream Os;
+    Os << "thread#" << S.Slot;
+    return Os.str();
+  }
   std::ostringstream Os;
   Os << "event#" << T.Seq;
   return Os.str();
 }
 
-uint64_t Analyzer::beginVersionOf(uint32_t Strand, uint64_t Epoch) const {
+const Analyzer::HistEntry *Analyzer::beginOf(uint32_t Strand,
+                                             uint64_t Epoch) const {
   auto It = History.find(Strand);
   if (It == History.end())
-    return UINT64_MAX;
+    return nullptr;
   const auto &H = It->second;
-  auto P = std::lower_bound(
-      H.begin(), H.end(), Epoch,
-      [](const std::pair<uint64_t, uint64_t> &E, uint64_t V) {
-        return E.first < V;
-      });
-  if (P == H.end() || P->first != Epoch)
-    return UINT64_MAX;
-  return P->second;
+  auto P = std::lower_bound(H.begin(), H.end(), Epoch,
+                            [](const HistEntry &E, uint64_t V) {
+                              return E.Epoch < V;
+                            });
+  if (P == H.end() || P->Epoch != Epoch)
+    return nullptr;
+  return &*P;
 }
 
 bool Analyzer::coversLocked(const Task &T, uint32_t Strand,
@@ -108,9 +159,16 @@ bool Analyzer::coversLocked(const Task &T, uint32_t Strand,
     if (It != T.Explicit->end() && It->second >= Epoch)
       return true;
   }
-  // Drain joins: the task waited for everything begun up to GlobalV.
-  uint64_t V = beginVersionOf(Strand, Epoch);
-  return V != UINT64_MAX && T.GlobalV >= V;
+  // Drain joins: the task waited for everything the access's domain had
+  // begun up to its watermark version. Never crosses domains - another
+  // simulator's events may still be running on another thread.
+  const HistEntry *E = beginOf(Strand, Epoch);
+  if (!E)
+    return false;
+  if (E->Version == 0)
+    return true; // the pre-history host root
+  auto It = T.Drains.find(E->Domain);
+  return It != T.Drains.end() && It->second >= E->Version;
 }
 
 Analyzer::Clock &Analyzer::mutableClockLocked(Task &T) {
@@ -129,8 +187,11 @@ Analyzer::Clock &Analyzer::mutableClockLocked(Task &T) {
 }
 
 void Analyzer::joinLocked(Task &T, const Stamp &S) {
-  if (S.GlobalV > T.GlobalV)
-    T.GlobalV = S.GlobalV;
+  for (const auto &[Domain, V] : S.Drains) {
+    uint64_t &E = T.Drains[Domain];
+    if (V > E)
+      E = V;
+  }
   if (!S.Explicit || S.Explicit == T.Explicit)
     return;
   Clock &C = mutableClockLocked(T);
@@ -142,12 +203,15 @@ void Analyzer::joinLocked(Task &T, const Stamp &S) {
 }
 
 Analyzer::Stamp Analyzer::stampLocked(const Task &T) const {
-  return Stamp{T.Explicit, T.GlobalV};
+  return Stamp{T.Explicit, T.Drains};
 }
 
 void Analyzer::mergeStampLocked(Stamp &Dst, const Stamp &Src) {
-  if (Src.GlobalV > Dst.GlobalV)
-    Dst.GlobalV = Src.GlobalV;
+  for (const auto &[Domain, V] : Src.Drains) {
+    uint64_t &E = Dst.Drains[Domain];
+    if (V > E)
+      E = V;
+  }
   if (!Src.Explicit || Src.Explicit == Dst.Explicit)
     return;
   if (!Dst.Explicit) {
@@ -175,7 +239,7 @@ void Analyzer::mergeStampLocked(Stamp &Dst, const Stamp &Src) {
   Dst.Explicit = std::move(C);
 }
 
-void Analyzer::onSchedule(uint64_t Seq) {
+void Analyzer::onSchedule(uint64_t Seq, uint32_t Domain) {
   std::lock_guard<std::mutex> Lock(Mu);
   Task &Cur = currentLocked();
   Pending P;
@@ -188,13 +252,20 @@ void Analyzer::onSchedule(uint64_t Seq) {
     P.TakesParentStrand = true;
     P.ParentStrand = Cur.Strand;
   }
-  PendingBySeq.emplace(Seq, std::move(P));
+  PendingBySeq.emplace(std::make_pair(Domain, Seq), std::move(P));
 }
 
-void Analyzer::onEventBegin(uint64_t Seq) {
+void Analyzer::onEventBegin(uint64_t Seq, uint32_t Domain) {
   std::lock_guard<std::mutex> Lock(Mu);
+  ThreadState &S = stateLocked();
+  // Program order: the event callback runs on the pumping task's OS
+  // thread, after everything that task did before (re-)entering the run
+  // loop - a real happens-before edge. This is what orders a worker's
+  // next-epoch events after the cluster master's barrier-time mutations
+  // (the worker root joins the master's channel, then pumps the loop).
+  Stamp PumpedAfter = stampLocked(S.Stack.back());
   Pending P;
-  auto It = PendingBySeq.find(Seq);
+  auto It = PendingBySeq.find(std::make_pair(Domain, Seq));
   if (It != PendingBySeq.end()) {
     P = std::move(It->second);
     PendingBySeq.erase(It);
@@ -214,32 +285,36 @@ void Analyzer::onEventBegin(uint64_t Seq) {
     Next = 1;
   T.Epoch = Next++;
   T.Explicit = P.At.Explicit;
-  T.GlobalV = P.At.GlobalV;
+  T.Drains = std::move(P.At.Drains);
   ++GlobalVersion;
-  History[T.Strand].emplace_back(T.Epoch, GlobalVersion);
-  TaskStack.push_back(std::move(T));
-  mutableClockLocked(TaskStack.back())[TaskStack.back().Strand] =
-      TaskStack.back().Epoch;
+  History[T.Strand].push_back(HistEntry{T.Epoch, GlobalVersion, Domain});
+  S.Stack.push_back(std::move(T));
+  mutableClockLocked(S.Stack.back())[S.Stack.back().Strand] =
+      S.Stack.back().Epoch;
+  joinLocked(S.Stack.back(), PumpedAfter);
   ++Sum.TasksExecuted;
 }
 
 void Analyzer::onEventEnd() {
   std::lock_guard<std::mutex> Lock(Mu);
-  if (TaskStack.size() > 1)
-    TaskStack.pop_back();
+  ThreadState &S = stateLocked();
+  if (S.Stack.size() > 1)
+    S.Stack.pop_back();
 }
 
-void Analyzer::onCancel(uint64_t Seq) {
+void Analyzer::onCancel(uint64_t Seq, uint32_t Domain) {
   std::lock_guard<std::mutex> Lock(Mu);
-  PendingBySeq.erase(Seq);
+  PendingBySeq.erase(std::make_pair(Domain, Seq));
 }
 
-void Analyzer::onDrainExit() {
+void Analyzer::onDrainExit(uint32_t Domain) {
   std::lock_guard<std::mutex> Lock(Mu);
-  // Returning from a blocking run loop means every event begun so far has
-  // finished (or is an ancestor on this very stack): join them all. O(1)
-  // thanks to the begin-version history.
-  currentLocked().GlobalV = GlobalVersion;
+  // Returning from a blocking run loop means every event this simulator
+  // began so far has finished (or is an ancestor on this very stack):
+  // join them all. O(1) thanks to the begin-version history.
+  uint64_t &V = currentLocked().Drains[Domain];
+  if (GlobalVersion > V)
+    V = GlobalVersion;
   ++Sum.DrainJoins;
 }
 
@@ -264,6 +339,20 @@ void Analyzer::sectionExit(const std::string &Name) {
   auto It = Cur.Held.find(Name);
   if (It != Cur.Held.end() && --It->second == 0)
     Cur.Held.erase(It);
+}
+
+void Analyzer::hbPublish(const std::string &Chan) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.ChannelOps;
+  mergeStampLocked(Channels[Chan], stampLocked(currentLocked()));
+}
+
+void Analyzer::hbJoin(const std::string &Chan) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Sum.ChannelOps;
+  auto It = Channels.find(Chan);
+  if (It != Channels.end())
+    joinLocked(currentLocked(), It->second);
 }
 
 void Analyzer::leaseAcquire(const std::string &Name,

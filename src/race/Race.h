@@ -7,34 +7,45 @@
 /// \file
 /// The dynamic half of the fcl::race concurrency-readiness analyzer.
 ///
-/// Today every simulator, runtime and serving engine runs on one OS thread;
-/// the ROADMAP's cluster work wants to put each device pair's simulator on
-/// its own thread. Any pair of host-structure accesses that is not ordered
-/// by the event graph's happens-before relation will become a real data
-/// race the day that refactor lands. This analyzer finds those pairs now,
-/// while everything is still deterministic and single-threaded:
+/// Simulators, runtimes and serving engines historically ran on one OS
+/// thread; the cluster tier now puts each device pair's simulator on its
+/// own thread. Any pair of host-structure accesses that is not ordered by
+/// the event graph's happens-before relation is a real data race there.
+/// This analyzer finds those pairs, in both the single-threaded and the
+/// threaded-cluster shape:
 ///
-///  * The simulator reports its causal structure (event schedule->execute
-///    fork edges, drain joins at run-loop exits, cancellations) and the
-///    analyzer maintains a vector clock per logical task (the host program
+///  * Each simulator reports its causal structure (event schedule->execute
+///    fork edges, drain joins at run-loop exits, cancellations) tagged with
+///    its analysis *domain* (one per simulator instance), and the analyzer
+///    maintains a vector clock per logical task (each thread's root program
 ///    plus every executed event).
 ///  * Instrumented code declares its synchronization intent: a Section is
 ///    a would-be mutex (enter joins the section's last published clock,
 ///    exit publishes the current clock), a lease is an ownership handoff
-///    (acquire while held is a diagnostic), and a guard is a
-///    non-reentrant scope (nested entry is a diagnostic).
+///    (acquire while held is a diagnostic), a guard is a non-reentrant
+///    scope (nested entry is a diagnostic), and an hb channel is a real
+///    cross-thread edge (a mutex/condition-variable handoff that already
+///    exists, e.g. the cluster fabric's epoch barrier).
 ///  * Shared host structures (serve queues, version tracker, buffer pool,
-///    stats registries, tracer) are shadow-tracked: every read/write is
-///    checked against the last conflicting access, and any pair unordered
-///    by happens-before is reported as a would-be race.
+///    stats registries, tracer, the cluster master's tables) are
+///    shadow-tracked: every read/write is checked against the last
+///    conflicting access, and any pair unordered by happens-before is
+///    reported as a would-be race.
 ///
 /// Vector clocks use strand compression: the first event a task schedules
 /// continues the parent's strand at the next epoch, so completion chains
 /// (the dominant shape here) keep clocks small; only genuine forks create
-/// strands. Drain joins are O(1): the analyzer keeps a global version
-/// counter, records at which version each (strand, epoch) began, and a
-/// task that returns from a blocking run-loop simply remembers that it
-/// joined everything up to the current version.
+/// strands. Drain joins are O(1) and per-domain: the analyzer keeps a
+/// global version counter, records at which version (and in which domain)
+/// each (strand, epoch) began, and a task that returns from a blocking
+/// run-loop remembers that it joined everything *its* simulator began up
+/// to the current version. A drain never covers another simulator's
+/// events - on OS threads those may still be running.
+///
+/// Tasks live on per-thread stacks: each OS thread that touches the
+/// analyzer gets its own root task on first contact (the resetting thread
+/// is the host; workers are thread#N), so concurrently executing events on
+/// different threads never share a stack.
 ///
 /// The analyzer is a process-wide singleton like prof::Profiler: disabled
 /// (the default) every hook is one relaxed atomic load, and enabling it
@@ -102,6 +113,7 @@ struct Summary {
   uint64_t LeaseOps = 0;
   uint64_t GuardOps = 0;
   uint64_t DrainJoins = 0;
+  uint64_t ChannelOps = 0;
 };
 
 /// The process-wide happens-before analyzer.
@@ -116,23 +128,33 @@ public:
   void setEnabled(bool On);
 
   /// Drops all task/shadow/finding state and restarts from a fresh host
-  /// task. Call between independent analyzed runs.
+  /// task owned by the calling thread. Call between independent analyzed
+  /// runs. Domain ids are NOT recycled (simulators outlive resets).
   void reset();
+
+  /// Reserves a fresh analysis domain. Each simulator instance allocates
+  /// one lazily so its fork/drain structure never collides with another
+  /// simulator's event sequence numbers. Domain 0 is the legacy default
+  /// for direct hook calls (unit tests).
+  uint32_t allocDomain();
 
   // --- Simulator hooks (sim/Simulator.cpp) -------------------------------
 
-  /// The current task scheduled event \p Seq: snapshot the schedule-time
-  /// clock (the fork edge).
-  void onSchedule(uint64_t Seq);
-  /// Event \p Seq starts executing (pushes a task).
-  void onEventBegin(uint64_t Seq);
-  /// The innermost executing event finished (pops a task).
+  /// The current task scheduled event \p Seq in simulator domain
+  /// \p Domain: snapshot the schedule-time clock (the fork edge).
+  void onSchedule(uint64_t Seq, uint32_t Domain = 0);
+  /// Event \p Seq starts executing in \p Domain (pushes a task on the
+  /// calling thread's stack).
+  void onEventBegin(uint64_t Seq, uint32_t Domain = 0);
+  /// The innermost executing event on this thread finished (pops a task).
   void onEventEnd();
-  /// Event \p Seq was cancelled; forget its snapshot.
-  void onCancel(uint64_t Seq);
-  /// A run loop returned to its caller: the caller blocked until every
-  /// event executed so far had finished, so it joins all of them.
-  void onDrainExit();
+  /// Event \p Seq in \p Domain was cancelled; forget its snapshot.
+  void onCancel(uint64_t Seq, uint32_t Domain = 0);
+  /// A run loop of simulator \p Domain returned to its caller: the caller
+  /// blocked until every event that simulator executed so far had
+  /// finished, so it joins all of them (and only them - other domains may
+  /// still be running on other threads).
+  void onDrainExit(uint32_t Domain = 0);
 
   // --- Declared synchronization (instrumented code) -----------------------
   //
@@ -150,6 +172,18 @@ public:
   /// Non-reentrant scope; reports ReentrantCallback on nested entry.
   void guardEnter(const std::string &Name);
   void guardExit(const std::string &Name);
+
+  // --- Real cross-thread edges (hb channels) -------------------------------
+
+  /// Records a real synchronization edge that exists in the program (a
+  /// mutex + condition-variable handoff, e.g. the cluster fabric's epoch
+  /// barrier): publish merges the calling task's clock into the named
+  /// channel; join makes the calling task cover everything published so
+  /// far. Unlike Sections these never feed the lockset rule - they assert
+  /// ordering that genuinely exists, so call them only where the code
+  /// really blocks.
+  void hbPublish(const std::string &Chan);
+  void hbJoin(const std::string &Chan);
 
   // --- Shadowed shared-object accesses ------------------------------------
 
@@ -174,27 +208,38 @@ private:
   // Strand-compressed vector clock: strand id -> latest joined epoch.
   using Clock = std::map<uint32_t, uint64_t>;
   using ClockPtr = std::shared_ptr<const Clock>;
+  /// Per-domain drain watermarks: domain -> highest global version whose
+  /// events (begun in that domain) this task has joined.
+  using DrainMap = std::map<uint32_t, uint64_t>;
 
-  /// A published clock: the explicit (small) part plus "everything begun
-  /// up to global version V" from drain joins.
+  /// A published clock: the explicit (small) part plus "everything domain
+  /// D begun up to version V" from drain joins.
   struct Stamp {
     ClockPtr Explicit;
-    uint64_t GlobalV = 0;
+    DrainMap Drains;
   };
 
-  /// One executing logical task (host, or an event on the task stack).
+  /// One executing logical task (a thread's root, or an event on that
+  /// thread's task stack).
   struct Task {
-    uint64_t Seq = 0; // 0 = the host task.
+    uint64_t Seq = 0; // 0 = a thread root task.
     uint32_t Strand = 0;
     uint64_t Epoch = 0;
     ClockPtr Explicit;
-    uint64_t GlobalV = 0;
+    DrainMap Drains;
     bool ForkedContinuation = false;
     /// Sections this task itself has entered and not yet exited (name ->
     /// depth). Deliberately NOT inherited by nested inline-pumped events:
     /// on OS threads those would be separate threads not holding the
     /// outer task's locks.
     std::map<std::string, uint64_t> Held;
+  };
+
+  /// One OS thread's task stack; [0] is the thread's root task and is
+  /// never popped.
+  struct ThreadState {
+    size_t Slot = 0;
+    std::vector<Task> Stack;
   };
 
   /// Fork-edge snapshot taken at schedule time.
@@ -233,9 +278,21 @@ private:
     std::string Holder;
   };
 
+  /// (strand, epoch) began at this global version, executing in this
+  /// domain. Epoch and Version columns both strictly increase per strand.
+  struct HistEntry {
+    uint64_t Epoch = 0;
+    uint64_t Version = 0;
+    uint32_t Domain = 0;
+  };
+
   void resetLocked();
+  /// The calling thread's task stack, created (with a root task) on first
+  /// contact after a reset.
+  ThreadState &stateLocked();
+  Task makeRootLocked(size_t Slot);
   Task &currentLocked();
-  std::string taskLabelLocked() const;
+  std::string taskLabelLocked();
   /// True when access (Strand, Epoch) happens-before the current task.
   bool coversLocked(const Task &T, uint32_t Strand, uint64_t Epoch) const;
   /// Joins \p S into the current task's clock.
@@ -248,7 +305,7 @@ private:
   void mergeStampLocked(Stamp &Dst, const Stamp &Src);
   /// Mutable copy-on-write access to \p T's explicit clock.
   Clock &mutableClockLocked(Task &T);
-  uint64_t beginVersionOf(uint32_t Strand, uint64_t Epoch) const;
+  const HistEntry *beginOf(uint32_t Strand, uint64_t Epoch) const;
   void recordFindingLocked(FindingKind Kind, const std::string &Object,
                            std::string Message);
   void checkAccessLocked(Shadow &Sh, const std::string &Object,
@@ -256,17 +313,26 @@ private:
 
   static std::atomic<bool> Enabled;
 
+  /// Thread roots other than the host execute in no simulator, so no
+  /// drain can ever cover them.
+  static constexpr uint32_t NoDomain = 0xffffffffu;
+
   mutable std::mutex Mu;
-  std::vector<Task> TaskStack; // [0] is the host task.
-  std::map<uint64_t, Pending> PendingBySeq;
-  /// Per strand: epochs begun, with the global version at which each
-  /// began (both columns strictly increase -> binary search).
-  std::map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>> History;
+  /// One stack per OS thread that has touched the analyzer since the last
+  /// reset; slot 0 is the resetting (host) thread.
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  /// Bumped by reset() to invalidate the thread-local slot cache.
+  uint64_t ThreadGen = 1;
+  std::map<std::pair<uint32_t, uint64_t>, Pending> PendingBySeq;
+  /// Per strand: epochs begun, with begin version and executing domain.
+  std::map<uint32_t, std::vector<HistEntry>> History;
   std::map<uint32_t, uint64_t> NextEpoch;
   uint32_t NextStrand = 1;
+  uint32_t NextDomain = 1; // survives reset(); 0 = legacy default
   uint64_t GlobalVersion = 0;
 
   std::map<std::string, Stamp> Sections;
+  std::map<std::string, Stamp> Channels;
   std::map<std::string, LeaseState> Leases;
   std::map<std::string, GuardState> Guards;
   std::map<std::string, Shadow> Shadows;

@@ -24,9 +24,11 @@ Engine::Engine(EngineConfig C) : Cfg(std::move(C)) {
   Templates = jobTemplates(Cfg.Mix);
   Ctx = std::make_unique<mcl::Context>(Cfg.M, Cfg.Mode);
   Ctx->setTracer(Cfg.Tracer);
-  Gens.reserve(Cfg.Streams);
-  for (int S = 0; S < Cfg.Streams; ++S)
-    Gens.emplace_back(Cfg.Seed, S, Templates);
+  if (!Cfg.External) {
+    Gens.reserve(Cfg.Streams);
+    for (int S = 0; S < Cfg.Streams; ++S)
+      Gens.emplace_back(Cfg.Seed, S, Templates);
+  }
   // The threading plan for the engine is one mutex around all queue and
   // lease state: every externally-entered callback declares this section
   // and the race analyzer checks that the shared structures stay inside.
@@ -97,8 +99,9 @@ void Engine::onArrival(Req *R) {
                          formatString("req %llu stream %d (%s)",
                                       static_cast<unsigned long long>(R->Id),
                                       R->Stream, R->T->W.Name.c_str()));
-    if (Cfg.Arrival.Kind == ArrivalKind::Closed)
+    if (Cfg.Arrival.Kind == ArrivalKind::Closed && !Cfg.External)
       scheduleClosedLoopNext(R->Stream, Gens[R->Stream].think(Cfg.Arrival));
+    emitOutcome(R);
     return;
   }
   if (race::Analyzer::enabled())
@@ -317,15 +320,107 @@ void Engine::jobDone(Req *R) {
     PendingResumes.clear();
   }
 
-  if (Cfg.Arrival.Kind == ArrivalKind::Closed)
+  if (Cfg.Arrival.Kind == ArrivalKind::Closed && !Cfg.External)
     scheduleClosedLoopNext(R->Stream, Gens[R->Stream].think(Cfg.Arrival));
 
+  emitOutcome(R);
   if (WasBackfill)
     drainResumes();
   dispatch();
 }
 
+void Engine::emitOutcome(Req *R) {
+  if (!Outcome)
+    return;
+  JobOutcome O;
+  O.ClusterId = R->ClusterId;
+  O.Rejected = R->Rejected;
+  O.ArrivalAt = R->ArrivalAt;
+  O.StartAt = R->StartAt;
+  O.EndAt = R->EndAt;
+  O.Placement = R->Placement;
+  O.Large = R->Large;
+  Outcome(O);
+}
+
+void Engine::setOutcomeFn(std::function<void(const JobOutcome &)> Fn) {
+  FCL_CHECK(Cfg.External, "outcome hook is for embedded engines");
+  Outcome = std::move(Fn);
+}
+
+void Engine::injectJob(uint64_t ClusterId, int TemplateIdx, int Stream,
+                       TimePoint At) {
+  FCL_CHECK(Cfg.External, "injectJob is for embedded engines");
+  FCL_CHECK(TemplateIdx >= 0 &&
+                static_cast<size_t>(TemplateIdx) < Templates.size(),
+            "job template index out of range");
+  auto Owned = std::make_unique<Req>();
+  Req *R = Owned.get();
+  R->Id = NextId++;
+  R->ClusterId = ClusterId;
+  R->TemplateIdx = TemplateIdx;
+  R->Stream = Stream;
+  R->T = &Templates[TemplateIdx];
+  R->Large = R->T->MaxGroups >= Cfg.LargeThreshold;
+  Requests.push_back(std::move(Owned));
+  Ctx->simulator().scheduleAt(At, [this, R] { onArrival(R); });
+}
+
+bool Engine::stealQueued(StolenJob &Out) {
+  FCL_CHECK(Cfg.External, "stealQueued is for embedded engines");
+  if (Ready.empty())
+    return false;
+  // The master holds this engine's would-be lock (the fabric barrier is
+  // the real mutual exclusion; the section declares it to the analyzer).
+  race::Section RaceS(RaceSec);
+  if (race::Analyzer::enabled())
+    race::Analyzer::instance().sharedWrite(ReadyObj, "steal");
+  // Take the newest arrival: the head of the queue is next to start
+  // locally, so migrating the tail preserves FIFO fairness.
+  Req *R = Ready.back();
+  Ready.pop_back();
+  sampleQueueDepth();
+  R->Stolen = true;
+  R->Placement = "stolen";
+  ++StolenOutN;
+  Out.ClusterId = R->ClusterId;
+  Out.TemplateIdx = R->TemplateIdx;
+  Out.Stream = R->Stream;
+  return true;
+}
+
+void Engine::advanceTo(TimePoint Deadline) {
+  Ctx->simulator().runUntil(Deadline);
+}
+
+int Engine::runningJobs() const {
+  int N = 0;
+  if (GpuJob)
+    ++N;
+  if (CpuJob && CpuJob != GpuJob)
+    ++N;
+  return N;
+}
+
+bool Engine::quiescent() const {
+  return Ready.empty() && !GpuJob && !CpuJob &&
+         !Ctx->simulator().hasPending();
+}
+
+TimePoint Engine::now() const { return Ctx->now(); }
+
+ServeReport Engine::finishExternal() {
+  FCL_CHECK(Cfg.External, "finishExternal is for embedded engines");
+  collectAnalysis(/*IncludeRaces=*/false);
+  ServeReport Report = finalize();
+  for (auto &R : Requests)
+    R->Exec.reset();
+  return Report;
+}
+
 ServeReport Engine::run() {
+  FCL_CHECK(!Cfg.External,
+            "embedded engines are driven by the cluster master");
   if (Cfg.Races != check::Policy::Off) {
     race::Analyzer &A = race::Analyzer::instance();
     A.reset();
@@ -339,7 +434,7 @@ ServeReport Engine::run() {
   }
   // Drain everything: arrivals, jobs, trailing cooperative transfers.
   Ctx->simulator().run();
-  collectAnalysis();
+  collectAnalysis(/*IncludeRaces=*/true);
   ServeReport Report = finalize();
   // Tear down executors only now, at top level: cooperative runtimes
   // FCL_CHECK their queues idle on destruction.
@@ -348,7 +443,7 @@ ServeReport Engine::run() {
   return Report;
 }
 
-void Engine::collectAnalysis() {
+void Engine::collectAnalysis(bool IncludeRaces) {
   if (Cfg.FclOpts.Check != check::Policy::Off) {
     for (auto &R : Requests) {
       fluidicl::Runtime *RT = R->Exec ? R->Exec->fclRuntime() : nullptr;
@@ -365,7 +460,7 @@ void Engine::collectAnalysis() {
         CheckDiagLines.push_back(D.str());
     }
   }
-  if (Cfg.Races != check::Policy::Off) {
+  if (IncludeRaces && Cfg.Races != check::Policy::Off) {
     race::Analyzer &A = race::Analyzer::instance();
     A.setEnabled(false);
     check::DiagSink Sink(check::Policy::Warn);
@@ -407,6 +502,8 @@ ServeReport Engine::finalize() {
     Rep.Requests.push_back(Rec);
     if (R->Rejected)
       continue;
+    if (R->Stolen)
+      continue; // Migrated to another worker; the thief accounts for it.
     FCL_CHECK(R->Done, "admitted request never completed");
     QueueMs.push_back(Rec.queueWaitMs());
     ServiceMs.push_back(Rec.serviceMs());

@@ -36,6 +36,7 @@
 #include "trace/Tracer.h"
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,32 @@ struct EngineConfig {
   double SloMs = 0;
   /// Optional tracer: serve lanes + queue-depth counter track.
   trace::Tracer *Tracer = nullptr;
+  /// Embedded (cluster) mode: the engine admits only jobs injected by a
+  /// cluster master (injectJob), which also drives the simulator clock in
+  /// epoch quanta (advanceTo) and collects results via the outcome hook.
+  /// run() must not be called; the master calls finishExternal() instead.
+  bool External = false;
+};
+
+/// What the cluster master needs to re-inject a stolen queued job into
+/// another worker's engine.
+struct StolenJob {
+  uint64_t ClusterId = 0;
+  int TemplateIdx = 0;
+  int Stream = 0;
+};
+
+/// Completion/rejection record handed to the cluster master's outcome
+/// hook. Fired on the worker's thread inside the engine's would-be lock;
+/// the hook must only touch that worker's own outbox.
+struct JobOutcome {
+  uint64_t ClusterId = 0;
+  bool Rejected = false;
+  TimePoint ArrivalAt;
+  TimePoint StartAt;
+  TimePoint EndAt;
+  const char *Placement = "";
+  bool Large = false;
 };
 
 /// One engine instance runs one complete serve experiment.
@@ -82,8 +109,45 @@ public:
   ~Engine();
 
   /// Generates the load, runs the simulation to completion and returns
-  /// the aggregate report.
+  /// the aggregate report. Self-driving mode only (not External).
   ServeReport run();
+
+  // --- Embedded (cluster) operation: External mode only ------------------
+  //
+  // The master owns all engine state between epochs (workers parked at
+  // the fabric barrier) and each worker owns its engine while its epoch
+  // quantum runs; these calls are made from whichever side currently
+  // holds ownership, never concurrently.
+
+  /// Installs the completion/rejection hook. Call once, before any
+  /// injectJob.
+  void setOutcomeFn(std::function<void(const JobOutcome &)> Fn);
+  /// Admits a cluster job: schedules its arrival at \p At on this
+  /// engine's simulator. \p TemplateIdx indexes jobTemplates(Cfg.Mix).
+  void injectJob(uint64_t ClusterId, int TemplateIdx, int Stream,
+                 TimePoint At);
+  /// Removes the newest still-queued request for migration to another
+  /// worker. Returns false when the queue is empty.
+  bool stealQueued(StolenJob &Out);
+  /// Pumps this engine's simulator up to \p Deadline (the epoch quantum).
+  /// Called on the worker's own thread.
+  void advanceTo(TimePoint Deadline);
+  /// Queued (admitted, not yet started) requests.
+  size_t readyDepth() const { return Ready.size(); }
+  /// Distinct requests currently holding a device.
+  int runningJobs() const;
+  /// Queued jobs stolen away from this engine so far.
+  uint64_t stolenOut() const { return StolenOutN; }
+  /// True when nothing is queued, running, or pending on the simulator.
+  bool quiescent() const;
+  TimePoint now() const;
+  const std::vector<JobTemplate> &templates() const { return Templates; }
+  /// The engine's would-be-lock section name (fcl::race): the master
+  /// enters it around barrier-time mutations of this engine's state.
+  const std::string &raceSectionName() const { return RaceSec; }
+  /// Cluster-mode teardown: drains check diagnostics and builds this
+  /// worker's report (race findings are collected once, by the cluster).
+  ServeReport finishExternal();
 
 private:
   struct Req {
@@ -98,6 +162,12 @@ private:
     bool Done = false;
     const char *Placement = "";
     std::unique_ptr<JobExec> Exec;
+    /// Cluster (External) bookkeeping.
+    uint64_t ClusterId = 0;
+    int TemplateIdx = -1;
+    /// Migrated away by stealQueued: excluded from local latency and
+    /// completion accounting (the thief worker reports it).
+    bool Stolen = false;
   };
 
   Req *newRequest(int Stream);
@@ -117,10 +187,12 @@ private:
   Req *takeFirst(bool WantLarge);
   Req *popHead();
   void sampleQueueDepth();
-  /// Drains per-job runtime check diagnostics and fcl::race findings into
-  /// the aggregate members below (run() calls it after the simulator is
-  /// idle, before executors are torn down).
-  void collectAnalysis();
+  /// Drains per-job runtime check diagnostics and (unless the cluster
+  /// collects them centrally) fcl::race findings into the aggregate
+  /// members below (called after the simulator is idle, before executors
+  /// are torn down).
+  void collectAnalysis(bool IncludeRaces);
+  void emitOutcome(Req *R);
   ServeReport finalize();
 
   EngineConfig Cfg;
@@ -158,7 +230,9 @@ private:
   uint64_t BackfillN = 0;
   uint64_t ChunkYields = 0;
   uint64_t ValidationFailuresN = 0;
+  uint64_t StolenOutN = 0;
   TimePoint LastEnd;
+  std::function<void(const JobOutcome &)> Outcome;
 
   /// fcl::race instrumentation names: the would-be engine lock (the
   /// threading plan is one mutex per engine around all queue/lease state)

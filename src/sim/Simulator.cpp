@@ -37,6 +37,12 @@ void Simulator::flushProfCounters() {
                    CompactionRuns};
 }
 
+uint32_t Simulator::raceDomain() {
+  if (RaceDomain == 0)
+    RaceDomain = race::Analyzer::instance().allocDomain();
+  return RaceDomain;
+}
+
 EventId Simulator::scheduleAt(TimePoint At, Callback Fn) {
   FCL_CHECK(At >= Now, "cannot schedule an event in the past");
   FCL_CHECK(Fn != nullptr, "cannot schedule a null callback");
@@ -45,7 +51,7 @@ EventId Simulator::scheduleAt(TimePoint At, Callback Fn) {
   CallbackBySeq.push_back(SeqCallback{Seq, std::move(Fn)});
   ++Live;
   if (race::Analyzer::enabled())
-    race::Analyzer::instance().onSchedule(Seq);
+    race::Analyzer::instance().onSchedule(Seq, raceDomain());
   return EventId(Seq);
 }
 
@@ -84,7 +90,7 @@ bool Simulator::cancel(EventId Id) {
   ++Cancelled;
   Callback Fn = takeCallback(Id.Seq);
   if (Fn && race::Analyzer::enabled())
-    race::Analyzer::instance().onCancel(Id.Seq);
+    race::Analyzer::instance().onCancel(Id.Seq, raceDomain());
   return Fn != nullptr;
 }
 
@@ -102,7 +108,7 @@ bool Simulator::step() {
     ++Executed;
     if (race::Analyzer::enabled()) {
       race::Analyzer &RA = race::Analyzer::instance();
-      RA.onEventBegin(Top.Seq);
+      RA.onEventBegin(Top.Seq, raceDomain());
       Fn();
       RA.onEventEnd();
     } else {
@@ -121,12 +127,13 @@ bool Simulator::step() {
 // level for no extra information. Counter deltas flush on outermost exit.
 
 // Returning from any run loop is a drain: the caller blocked until every
-// event executed so far had finished, which orders it after all of them.
-// The analyzer join is O(1) (a version watermark), so every exit path
-// reports it.
-static void raceDrainExit() {
+// event THIS simulator executed so far had finished, which orders it
+// after all of them (other simulators' events may still be running on
+// other threads, so the join is per-domain). The analyzer join is O(1)
+// (a version watermark), so every exit path reports it.
+void Simulator::raceDrainExit() {
   if (race::Analyzer::enabled())
-    race::Analyzer::instance().onDrainExit();
+    race::Analyzer::instance().onDrainExit(raceDomain());
 }
 
 void Simulator::run() {

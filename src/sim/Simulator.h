@@ -120,6 +120,16 @@ private:
 
   Callback takeCallback(uint64_t Seq);
 
+  /// This simulator's race-analyzer domain, allocated lazily on the first
+  /// hook so unanalyzed runs never touch the analyzer. Event sequence
+  /// numbers are per-simulator, so every instance needs its own namespace
+  /// in the process-wide analyzer (the cluster tier runs one simulator per
+  /// worker thread).
+  uint32_t raceDomain();
+
+  /// Reports the drain join at every run-loop exit (O(1) watermark).
+  void raceDrainExit();
+
   /// Publishes the deltas of the plain member counters since the last flush
   /// to the wall-clock profiler's churn counters. Called at run-loop exit so
   /// the per-event path stays free of atomic operations.
@@ -135,6 +145,8 @@ private:
   /// True while a run loop is active, so re-entrant pumping from event
   /// callbacks skips the "sim.run" profiler phase and the counter flush.
   bool InRunLoop = false;
+  /// Lazily-allocated analyzer domain (0 = not yet allocated).
+  uint32_t RaceDomain = 0;
 
   /// Member-counter values as of the last flushProfCounters() call.
   struct ProfFlushMark {

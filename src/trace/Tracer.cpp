@@ -50,6 +50,13 @@ void Tracer::counter(std::string Track, TimePoint At, double Value) {
   Counters.push_back(std::move(S));
 }
 
+void Tracer::mergeFrom(const Tracer &Other, const std::string &Prefix) {
+  for (const TraceEvent &E : Other.Events)
+    record(Prefix + E.Lane, E.Name, E.Start, E.End, E.Detail);
+  for (const CounterSample &C : Other.Counters)
+    counter(Prefix + C.Track, C.At, C.Value);
+}
+
 std::vector<TraceEvent> Tracer::laneEvents(const std::string &Lane) const {
   std::vector<TraceEvent> Out;
   for (const TraceEvent &E : Events)

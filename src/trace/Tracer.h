@@ -61,6 +61,12 @@ public:
   /// Records one counter-track point.
   void counter(std::string Track, TimePoint At, double Value);
 
+  /// Appends every slice and counter sample of \p Other, with \p Prefix
+  /// prepended to lane and track names. fcl::cluster merges per-worker
+  /// tracers into one timeline this way ("w0 ", "w1 ", ...), after the
+  /// worker threads have been joined.
+  void mergeFrom(const Tracer &Other, const std::string &Prefix);
+
   /// Folds the wall-clock profiler's phase totals into the trace as
   /// Perfetto counter tracks ("prof <path> self ms" / "prof counter
   /// <name>") sampled at the timeline's end, so host-side hotspots can be

@@ -1,0 +1,75 @@
+# Determinism gate for fluidicl_cluster: at every tested worker count,
+# two runs with identical seed and configuration must produce
+# byte-identical report JSON *and* byte-identical merged traces - the
+# whole point of the epoch-barrier fabric is that OS thread scheduling
+# cannot leak into the simulation. A third run with the analysis stack
+# armed (--check=fail --races=fail) must still exit 0 AND produce the very
+# same report bytes. Invoked by ctest as
+#
+#   cmake -DTOOL=<fluidicl_cluster> -DOUT_DIR=<scratch> -P cluster_determinism.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+          "cluster_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(WORKERS 1 2 4)
+  set(ARGS --workers=${WORKERS} --placement=least --steal=on --streams=8
+           --policy=corun --arrival=poisson:400 --duration=0.1 --seed=7)
+  foreach(RUN a b)
+    execute_process(
+      COMMAND "${TOOL}" ${ARGS}
+              "--stats-json=${OUT_DIR}/w${WORKERS}-${RUN}.json"
+              "--trace=${OUT_DIR}/w${WORKERS}-${RUN}.trace.json"
+      RESULT_VARIABLE RC
+      OUTPUT_QUIET)
+    if(NOT RC EQUAL 0)
+      message(FATAL_ERROR
+              "fluidicl_cluster --workers=${WORKERS} run '${RUN}' "
+              "exited with ${RC}")
+    endif()
+  endforeach()
+
+  # Armed run: protocol checking plus the happens-before analyzer over
+  # the threaded fabric, both at their failing policy. Exit 0 proves the
+  # master/worker protocol is clean; byte-equality proves the analyzers
+  # never touch the report.
+  execute_process(
+    COMMAND "${TOOL}" ${ARGS} --check=fail --races=fail
+            "--stats-json=${OUT_DIR}/w${WORKERS}-c.json"
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+            "fluidicl_cluster --workers=${WORKERS} --check=fail "
+            "--races=fail exited with ${RC}")
+  endif()
+
+  foreach(RUN b c)
+    execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E compare_files
+              "${OUT_DIR}/w${WORKERS}-a.json"
+              "${OUT_DIR}/w${WORKERS}-${RUN}.json"
+      RESULT_VARIABLE DIFF)
+    if(NOT DIFF EQUAL 0)
+      message(FATAL_ERROR
+              "same-seed cluster runs at --workers=${WORKERS} produced "
+              "different report JSON (run ${RUN})")
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT_DIR}/w${WORKERS}-a.trace.json"
+            "${OUT_DIR}/w${WORKERS}-b.trace.json"
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "same-seed cluster runs at --workers=${WORKERS} produced "
+            "different traces")
+  endif()
+endforeach()
+
+message(STATUS "same-seed cluster reports and traces are byte-identical "
+               "at 1/2/4 workers (analyzers on and off)")

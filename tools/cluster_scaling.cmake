@@ -1,0 +1,77 @@
+# Scaling gate for fluidicl_cluster, on a checked-in mixed workload kept
+# heavy enough to saturate one pair:
+#
+#   1. 4 workers (least-loaded + stealing) must complete jobs at >= 3x the
+#      simulated throughput of 1 worker - near-linear scale-out.
+#   2. 4 workers least-loaded + stealing must beat 4 workers
+#      hash-affine-without-stealing on p95 end-to-end latency - balancing
+#      and stealing must actually help under skewed placement.
+#
+# Invoked by ctest as
+#
+#   cmake -DTOOL=<fluidicl_cluster> -DOUT_DIR=<scratch> -P cluster_scaling.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "cluster_scaling.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(LOAD --streams=16 --policy=corun --arrival=poisson:600 --duration=0.1
+         --mix=mixed --seed=7)
+
+function(run_cluster NAME)
+  execute_process(
+    COMMAND "${TOOL}" ${LOAD} ${ARGN}
+            "--stats-json=${OUT_DIR}/${NAME}.json"
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "fluidicl_cluster '${NAME}' exited with ${RC}")
+  endif()
+endfunction()
+
+function(read_metric OUT_VAR NAME PATTERN)
+  file(READ "${OUT_DIR}/${NAME}.json" JSON)
+  string(REGEX MATCH "${PATTERN}" _M "${JSON}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "cannot find ${PATTERN} in ${NAME}.json")
+  endif()
+  set(${OUT_VAR} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+run_cluster(w1 --workers=1 --placement=least --steal=on)
+run_cluster(w4-least --workers=4 --placement=least --steal=on)
+run_cluster(w4-hash --workers=4 --placement=hash --steal=off)
+
+read_metric(THR1 w1 "\"throughput_jps\": ([0-9.]+)")
+read_metric(THR4 w4-least "\"throughput_jps\": ([0-9.]+)")
+# p95 of the end-to-end latency object: the "e2e" line inside latency_ms.
+read_metric(P95_LEAST w4-least
+            "\"e2e\": {\"p50\": [0-9.]+, \"p95\": ([0-9.]+)")
+read_metric(P95_HASH w4-hash
+            "\"e2e\": {\"p50\": [0-9.]+, \"p95\": ([0-9.]+)")
+
+# cmake's math(EXPR) is integer-only, so compare on truncated jps; the
+# gate demands a 3x margin, which sub-1 jps fractions cannot tip at these
+# magnitudes.
+string(REGEX REPLACE "\\..*" "" THR1_INT "${THR1}")
+string(REGEX REPLACE "\\..*" "" THR4_INT "${THR4}")
+if(THR1_INT EQUAL 0)
+  message(FATAL_ERROR "1-worker run completed no jobs")
+endif()
+math(EXPR THR1_X3 "3 * ${THR1_INT}")
+if(THR4_INT LESS THR1_X3)
+  message(FATAL_ERROR
+          "cluster scale-out too weak: 4-worker throughput ${THR4} jps "
+          "< 3x 1-worker throughput ${THR1} jps")
+endif()
+
+# if() LESS compares decimal strings numerically.
+if(NOT P95_LEAST LESS P95_HASH)
+  message(FATAL_ERROR
+          "least-loaded + stealing p95 ${P95_LEAST} ms is not better than "
+          "hash-affine without stealing p95 ${P95_HASH} ms")
+endif()
+
+message(STATUS "cluster scaling holds: ${THR1} -> ${THR4} jps (>= 3x), "
+               "p95 ${P95_LEAST} ms < ${P95_HASH} ms")

@@ -8,9 +8,10 @@
 /// Measures how fast the *host* executes the simulation (the paper's
 /// numbers are simulated time; this harness tracks the wall-clock cost of
 /// producing them). Runs a fixed scenario suite - raw simulator event
-/// dispatch, a TimingOnly runtime sweep, a functional fig13 slice, and a
-/// serve mixed-load run - and writes one schema-versioned
-/// BENCH_<scenario>.json per scenario (schema "fcl-bench-report-v1").
+/// dispatch, a TimingOnly runtime sweep, a functional fig13 slice, a
+/// serve mixed-load run, and a threaded cluster scale-out run - and
+/// writes one schema-versioned BENCH_<scenario>.json per scenario
+/// (schema "fcl-bench-report-v1").
 ///
 ///   fluidicl_bench --suite=ci --out-dir=bench-out
 ///
@@ -22,6 +23,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cluster/Cluster.h"
 #include "fluidicl/Runtime.h"
 #include "prof/BenchReport.h"
 #include "prof/Profiler.h"
@@ -250,6 +252,64 @@ void deriveServeMixed(prof::BenchReport &Rep, double WallSec) {
 }
 
 //===----------------------------------------------------------------------===//
+// Scenario: cluster_scale - the sharded tier at 1 and 4 worker pairs.
+//===----------------------------------------------------------------------===//
+
+double runClusterScale(const SuiteParams &P, prof::BenchReport &Rep) {
+  cluster::ClusterConfig Cfg;
+  Cfg.Place = cluster::Placement::LeastLoaded;
+  Cfg.Steal = true;
+  Cfg.Worker.P = serve::Policy::FluidicCorun;
+  Cfg.Worker.Mix = serve::MixKind::Mixed;
+  Cfg.Worker.Streams = 16;
+  Cfg.Worker.Seed = 42;
+  std::string Err;
+  FCL_CHECK(serve::parseArrivalSpec("poisson:600", Cfg.Worker.Arrival, Err),
+            "bad arrival spec");
+  Cfg.Worker.Horizon = Duration::milliseconds(P.Suite == "smoke" ? 10
+                                              : P.Suite == "ci"  ? 40
+                                                                 : 100);
+  const int Iters = P.Suite == "smoke" ? 1 : P.Suite == "ci" ? 8 : 16;
+  int64_t Start = prof::wallNowNs();
+  uint64_t Completed = 0;
+  double MakespanMs = 0;
+  double Thr1 = 0, Thr4 = 0;
+  for (int I = 0; I < Iters; ++I) {
+    Cfg.Workers = 1;
+    cluster::ClusterReport R1 = cluster::Cluster(Cfg).run();
+    Thr1 = R1.ThroughputJps;
+    Completed += R1.Completed;
+    MakespanMs += R1.MakespanMs;
+    Cfg.Workers = 4;
+    cluster::ClusterReport R4 = cluster::Cluster(Cfg).run();
+    Thr4 = R4.ThroughputJps;
+    Completed += R4.Completed;
+    MakespanMs += R4.MakespanMs;
+  }
+  double Wall = secondsSince(Start);
+  Rep.Metrics["cluster_completed"] = static_cast<double>(Completed);
+  Rep.Metrics["cluster_sim_makespan_ms"] = MakespanMs;
+  // Simulated (deterministic) throughputs and their scale-out ratio: a
+  // trend drop here means a scheduling regression, not a slower host.
+  Rep.Metrics["cluster_sim_thr_1w_jps"] = Thr1;
+  Rep.Metrics["cluster_sim_thr_4w_jps"] = Thr4;
+  if (Thr1 > 0)
+    Rep.Metrics["cluster_sim_scaleout_x"] = Thr4 / Thr1;
+  Rep.Meta["workers"] = "1+4";
+  Rep.Meta["iterations"] = std::to_string(Iters);
+  return Wall;
+}
+
+void deriveClusterScale(prof::BenchReport &Rep, double WallSec) {
+  if (WallSec > 0)
+    Rep.Metrics["cluster_jobs_per_sec"] =
+        Rep.Metrics["cluster_completed"] / WallSec;
+  double SimSec = Rep.Metrics["cluster_sim_makespan_ms"] * 1e-3;
+  if (SimSec > 0)
+    Rep.Metrics["wall_sec_per_sim_sec"] = WallSec / SimSec;
+}
+
+//===----------------------------------------------------------------------===//
 // Harness
 //===----------------------------------------------------------------------===//
 
@@ -308,7 +368,7 @@ int main(int Argc, char **Argv) {
   Args.addOption("top", "profile phases attached to each report", "12");
   Args.addOption("scenario",
                  "run only this scenario (sim_events|runtime_sweep|"
-                 "fig13_functional|serve_mixed)",
+                 "fig13_functional|serve_mixed|cluster_scale)",
                  "");
   if (!Args.parse(Argc - 1, Argv + 1)) {
     std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
@@ -337,6 +397,7 @@ int main(int Argc, char **Argv) {
       {"runtime_sweep", runRuntimeSweep, deriveRuntimeSweep},
       {"fig13_functional", runFig13Functional, deriveFig13Functional},
       {"serve_mixed", runServeMixed, deriveServeMixed},
+      {"cluster_scale", runClusterScale, deriveClusterScale},
   };
 
   std::string Only = Args.str("scenario");
