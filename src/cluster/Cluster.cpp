@@ -398,6 +398,28 @@ ClusterReport Cluster::finalize(const std::vector<serve::ServeReport> &WReps) {
   Rep.Stats.set("cluster_makespan_ms", Rep.MakespanMs);
   Rep.Stats.set("cluster_throughput_jps", Rep.ThroughputJps);
   Rep.Stats.set("cluster_e2e_p95_ms", Rep.E2e.P95);
+  // Compound (DAG) job accounting, summed over workers; emitted only when
+  // DAG jobs ran so plain mixes keep their pre-dag report bytes.
+  {
+    uint64_t DagJobs = 0, DagNodes = 0, DagTransfers = 0, DagPcieBytes = 0,
+             DagSkipped = 0, DagSaved = 0;
+    for (const serve::ServeReport &R : WReps) {
+      DagJobs += R.DagJobs;
+      DagNodes += R.DagNodes;
+      DagTransfers += R.DagTransfers;
+      DagPcieBytes += R.DagPcieBytes;
+      DagSkipped += R.DagTransfersSkipped;
+      DagSaved += R.DagBytesSaved;
+    }
+    if (DagJobs) {
+      Rep.Stats.add("cluster_dag_jobs", DagJobs);
+      Rep.Stats.add("cluster_dag_nodes", DagNodes);
+      Rep.Stats.add("cluster_dag_transfers", DagTransfers);
+      Rep.Stats.add("cluster_dag_pcie_bytes", DagPcieBytes);
+      Rep.Stats.add("cluster_dag_transfers_skipped", DagSkipped);
+      Rep.Stats.add("cluster_dag_bytes_saved", DagSaved);
+    }
+  }
   for (const WorkerSummary &S : Rep.PerWorker) {
     // Zero-padded so the registry's lexicographic order is worker order.
     Rep.Stats.add(formatString("cluster_w%02d_completed", S.Index),

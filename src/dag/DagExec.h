@@ -1,0 +1,128 @@
+//===- dag/DagExec.h - Compound-job DAG executor ----------------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one compound serve job - a dag::Graph over a work::Workload -
+/// cooperatively across the CPU+GPU pair without ever blocking the
+/// simulator. Each ready node is placed on the device minimizing estimated
+/// completion time (queue backlog + missing-input transfers + modeled
+/// compute); with Placement::Residency, inputs already resident where the
+/// node runs skip their transfers entirely, which is the subsystem's whole
+/// point: dependent kernels placed at their producer pay zero PCIe cost for
+/// the produced data. Placement::Blind is the independent-jobs baseline -
+/// every node uploads its inputs from the host and reads its outputs back,
+/// exactly what submitting each kernel as its own serve job costs.
+///
+/// Independent branches overlap: the executor owns one in-order queue per
+/// device and launches every dependency-satisfied node immediately, so a
+/// fan-out DAG keeps both devices busy at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_DAG_DAGEXEC_H
+#define FCL_DAG_DAGEXEC_H
+
+#include "dag/Graph.h"
+#include "dag/Residency.h"
+#include "serve/JobExec.h"
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fcl {
+namespace trace {
+class Tracer;
+}
+
+namespace dag {
+
+/// Runs one DAG job across both devices; plugs into serve::JobExec like the
+/// cooperative and single-device executors.
+class DagJobExec final : public serve::JobExec {
+public:
+  /// \p G must describe \p W and both must outlive the executor. \p Stats
+  /// (optional) accumulates transfer/node accounting across jobs; \p Trace
+  /// (optional) gets one "Serve DAG" slice per node.
+  DagJobExec(mcl::Context &Ctx, const work::Workload &W, const Graph &G,
+             Placement Place, bool Validate, DagStats *Stats,
+             trace::Tracer *Trace);
+  ~DagJobExec() override;
+
+  void start(DoneFn OnDone) override;
+
+private:
+  static constexpr size_t GpuIdx = 0;
+  static constexpr size_t CpuIdx = 1;
+  static Loc devLoc(size_t D) { return D == GpuIdx ? Loc::Gpu : Loc::Cpu; }
+
+  void pump();
+  void launchNode(size_t N);
+  void enqueueKernelNode(size_t N);
+  void onKernelComplete(size_t N);
+  void nodeRetired(size_t N);
+  void finishDag();
+  void finishJob();
+
+  /// Whether transfers touching device \p D cross the PCIe link.
+  bool pciePriced(size_t D) const;
+  void accountTransfer(size_t D, uint64_t Bytes);
+  /// Ensures a device buffer exists for workload buffer \p B on \p D.
+  mcl::Buffer &deviceBuf(size_t B, size_t D);
+
+  /// Estimated nanoseconds to run node \p N's kernel on device \p D.
+  double computeNs(size_t N, size_t D) const;
+  /// Estimated nanoseconds of input (and, blind, output) transfers node
+  /// \p N pays when placed on \p D, given current residency.
+  double transferNs(size_t N, size_t D) const;
+  /// Estimated nanoseconds to move \p Bytes to or from device \p D.
+  double xferNs(size_t D, uint64_t Bytes) const;
+  size_t pickDevice(size_t N) const;
+
+  mcl::Context &Ctx;
+  const work::Workload &W;
+  const Graph &G;
+  Placement Place;
+  bool Validate;
+  DagStats *Stats;
+  trace::Tracer *Trace;
+
+  std::array<std::unique_ptr<mcl::CommandQueue>, 2> Qs;
+  /// One lazily-created device buffer per workload buffer per device.
+  std::vector<std::array<std::unique_ptr<mcl::Buffer>, 2>> Bufs;
+  /// Pristine initial host data, kept aside for validation (the host
+  /// reference executes in place and must start from the same inputs).
+  std::vector<std::vector<std::byte>> Init; // Functional mode only.
+  /// Host-side transfer medium: uploads source from it, fetches and final
+  /// reads land in it.
+  std::vector<std::vector<std::byte>> Stage; // Functional mode only.
+  std::vector<std::vector<std::byte>> Results;
+
+  ResidencyTracker Res;
+  std::vector<size_t> Indegree;
+  std::vector<size_t> NodeDevice;
+  std::vector<TimePoint> NodeStart;
+  std::vector<double> NodeEstNs;
+  /// Cross-device input fetches still in flight before the node's kernel
+  /// can be enqueued.
+  std::vector<size_t> FetchesLeft;
+  std::vector<size_t> ReadyList;
+  bool Pumping = false;
+  /// Estimated nanoseconds of work already committed to each device.
+  double BacklogNs[2] = {0, 0};
+  size_t DoneN = 0;
+  size_t TailsLeft = 0;
+  DoneFn OnDone;
+  /// fcl::race critical-section name: callbacks from both device queues
+  /// mutate this executor's state.
+  std::string RaceSec;
+};
+
+} // namespace dag
+} // namespace fcl
+
+#endif // FCL_DAG_DAGEXEC_H

@@ -1,0 +1,141 @@
+//===- dag/Graph.cpp - Kernel-launch dependence graphs --------------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/Graph.h"
+
+#include "kern/Registry.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace fcl;
+using namespace fcl::dag;
+
+namespace {
+
+void pushUnique(std::vector<size_t> &V, size_t X) {
+  if (std::find(V.begin(), V.end(), X) == V.end())
+    V.push_back(X);
+}
+
+} // namespace
+
+Graph Graph::fromWorkload(const work::Workload &W) {
+  Graph G;
+  const kern::Registry &Reg = kern::Registry::builtin();
+  // Per-buffer versioning state: the launch that last wrote the buffer and
+  // the launches that read that version since (WAR ordering).
+  std::vector<int> LastWriter(W.Buffers.size(), -1);
+  std::vector<std::vector<size_t>> ReadersSince(W.Buffers.size());
+
+  for (size_t I = 0; I < W.Calls.size(); ++I) {
+    const work::KernelCall &Call = W.Calls[I];
+    const kern::KernelInfo &K = Reg.get(Call.Kernel);
+    FCL_CHECK(K.Args.size() == Call.Args.size(),
+              "kernel call argument count disagrees with the registry");
+    Node Nd;
+    Nd.Index = I;
+    Nd.Kernel = Call.Kernel;
+    Nd.Groups = Call.Range.totalGroups();
+    for (size_t A = 0; A < Call.Args.size(); ++A) {
+      if (!Call.Args[A].IsBuffer)
+        continue;
+      size_t B = static_cast<size_t>(Call.Args[A].Buf);
+      FCL_CHECK(B < W.Buffers.size(), "buffer argument index out of range");
+      kern::ArgAccess Acc = K.Args[A];
+      if (Acc == kern::ArgAccess::In || Acc == kern::ArgAccess::InOut)
+        pushUnique(Nd.Reads, B);
+      if (kern::isWrittenAccess(Acc))
+        pushUnique(Nd.Writes, B);
+    }
+
+    for (size_t B : Nd.Reads) // RAW
+      if (LastWriter[B] >= 0)
+        pushUnique(Nd.Deps, static_cast<size_t>(LastWriter[B]));
+    for (size_t B : Nd.Writes) {
+      if (LastWriter[B] >= 0) // WAW
+        pushUnique(Nd.Deps, static_cast<size_t>(LastWriter[B]));
+      for (size_t R : ReadersSince[B]) // WAR
+        if (R != I)
+          pushUnique(Nd.Deps, R);
+    }
+    std::sort(Nd.Deps.begin(), Nd.Deps.end());
+
+    for (size_t B : Nd.Writes) {
+      LastWriter[B] = static_cast<int>(I);
+      ReadersSince[B].clear();
+    }
+    for (size_t B : Nd.Reads)
+      ReadersSince[B].push_back(I);
+    G.Nodes.push_back(std::move(Nd));
+  }
+
+  for (const Node &Nd : G.Nodes)
+    for (size_t D : Nd.Deps)
+      G.Nodes[D].Succs.push_back(Nd.Index);
+  for (Node &Nd : G.Nodes)
+    std::sort(Nd.Succs.begin(), Nd.Succs.end());
+  return G;
+}
+
+size_t Graph::numEdges() const {
+  size_t N = 0;
+  for (const Node &Nd : Nodes)
+    N += Nd.Deps.size();
+  return N;
+}
+
+std::vector<size_t> Graph::roots() const {
+  std::vector<size_t> R;
+  for (const Node &Nd : Nodes)
+    if (Nd.Deps.empty())
+      R.push_back(Nd.Index);
+  return R;
+}
+
+size_t Graph::maxParallelism() const {
+  // ASAP leveling: a node's level is 1 + max level of its predecessors;
+  // the widest level is the parallelism an ideal schedule can expose.
+  std::vector<size_t> Level(Nodes.size(), 0);
+  size_t MaxLevel = 0;
+  for (const Node &Nd : Nodes) { // Nodes are in call (topological) order.
+    size_t L = 0;
+    for (size_t D : Nd.Deps)
+      L = std::max(L, Level[D] + 1);
+    Level[Nd.Index] = L;
+    MaxLevel = std::max(MaxLevel, L);
+  }
+  size_t Widest = 0;
+  for (size_t L = 0; L <= MaxLevel; ++L) {
+    size_t Width = 0;
+    for (size_t I = 0; I < Nodes.size(); ++I)
+      if (Level[I] == L)
+        ++Width;
+    Widest = std::max(Widest, Width);
+  }
+  return Widest;
+}
+
+const char *Graph::shapeName() const {
+  if (Nodes.size() <= 1)
+    return "single";
+  bool FanOut = false, FanIn = false;
+  for (const Node &Nd : Nodes) {
+    if (Nd.Succs.size() > 1)
+      FanOut = true;
+    if (Nd.Deps.size() > 1)
+      FanIn = true;
+  }
+  if (maxParallelism() > 1 && !FanOut && !FanIn)
+    return "fan-out"; // Independent branches (e.g. BICG's two kernels).
+  if (FanOut && FanIn)
+    return "dag";
+  if (FanOut)
+    return "fan-out";
+  if (FanIn)
+    return "fan-in";
+  return "chain";
+}

@@ -1,0 +1,72 @@
+//===- dag/Pipelines.cpp - Synthetic multi-kernel pipelines ---------------===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dag/Pipelines.h"
+
+#include "kern/polybench/PolybenchKernels.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace fcl;
+using namespace fcl::dag;
+using namespace fcl::kern::poly;
+using runtime::KArg;
+
+namespace {
+
+// One N x N gemm launch: Out = alpha * A * B (+ 0 * Out). Beta is zero so
+// the InOut output argument contributes nothing and every node is a pure
+// product - the host reference still matches whatever the initial pseudo-
+// random contents of Out were.
+work::KernelCall gemmCall(size_t A, size_t B, size_t Out, int64_t N) {
+  return {"gemm_kernel",
+          kern::NDRange::of2D(static_cast<uint64_t>(N),
+                              static_cast<uint64_t>(N), WgSizeX2D, WgSizeY2D),
+          {KArg::buffer(static_cast<runtime::BufferId>(A)),
+           KArg::buffer(static_cast<runtime::BufferId>(B)),
+           KArg::buffer(static_cast<runtime::BufferId>(Out)), KArg::f64(1.1),
+           KArg::f64(0.0), KArg::i64(N), KArg::i64(N), KArg::i64(N)}};
+}
+
+} // namespace
+
+work::Workload fcl::dag::makeDiamond(int64_t N) {
+  work::Workload W;
+  W.Name = formatString("DIAMOND(%lld)", static_cast<long long>(N));
+  W.Summary = "E = A B; F = E C; G = E D; H = F G - fan-out then fan-in";
+  uint64_t Sq = static_cast<uint64_t>(N * N) * sizeof(float);
+  W.Buffers = {{"A", Sq}, {"B", Sq}, {"C", Sq}, {"D", Sq},
+               {"E", Sq}, {"F", Sq}, {"G", Sq}, {"H", Sq}};
+  W.Calls = {
+      gemmCall(0, 1, 4, N), // E = A B
+      gemmCall(4, 2, 5, N), // F = E C
+      gemmCall(4, 3, 6, N), // G = E D
+      gemmCall(5, 6, 7, N), // H = F G
+  };
+  W.ResultBuffers = {7};
+  return W;
+}
+
+work::Workload fcl::dag::makeFanout(int64_t N, int Width) {
+  FCL_CHECK(Width >= 1, "fan-out width must be at least 1");
+  work::Workload W;
+  W.Name = formatString("FANOUT(%lldx%d)", static_cast<long long>(N), Width);
+  W.Summary = "E = A B then Width independent products F_i = E C_i";
+  uint64_t Sq = static_cast<uint64_t>(N * N) * sizeof(float);
+  W.Buffers = {{"A", Sq}, {"B", Sq}, {"E", Sq}};
+  for (int I = 0; I < Width; ++I)
+    W.Buffers.push_back({formatString("C%d", I), Sq});
+  for (int I = 0; I < Width; ++I)
+    W.Buffers.push_back({formatString("F%d", I), Sq});
+  W.Calls = {gemmCall(0, 1, 2, N)}; // E = A B
+  for (int I = 0; I < Width; ++I) {
+    size_t C = 3 + static_cast<size_t>(I);
+    size_t F = 3 + static_cast<size_t>(Width) + static_cast<size_t>(I);
+    W.Calls.push_back(gemmCall(2, C, F, N)); // F_i = E C_i
+    W.ResultBuffers.push_back(F);
+  }
+  return W;
+}

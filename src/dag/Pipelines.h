@@ -1,0 +1,39 @@
+//===- dag/Pipelines.h - Synthetic multi-kernel pipelines -------*- C++ -*-===//
+//
+// Part of the FluidiCL reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic compound workloads that exercise DAG shapes the Polybench
+/// suite does not: a diamond (fan-out then fan-in through shared
+/// intermediates) and a wide fan-out (one producer feeding independent
+/// branches). Both are built from gemm_kernel launches so their cost and
+/// residency behaviour is well understood, and both validate against the
+/// host reference like every other work::Workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FCL_DAG_PIPELINES_H
+#define FCL_DAG_PIPELINES_H
+
+#include "work/Workload.h"
+
+#include <cstdint>
+
+namespace fcl {
+namespace dag {
+
+/// Diamond: E = A B; F = E C; G = E D; H = F G. Nodes 1 and 2 both consume
+/// node 0's output and run concurrently across the pair; node 3 joins them.
+work::Workload makeDiamond(int64_t N);
+
+/// Fan-out: E = A B, then \p Width independent products F_i = E C_i. After
+/// node 0, every branch can run on either device; a residency-aware
+/// placement keeps E where it was produced.
+work::Workload makeFanout(int64_t N, int Width);
+
+} // namespace dag
+} // namespace fcl
+
+#endif // FCL_DAG_PIPELINES_H

@@ -6,6 +6,7 @@
 
 #include "serve/Engine.h"
 
+#include "dag/DagExec.h"
 #include "prof/Profiler.h"
 #include "race/Bridge.h"
 #include "race/Race.h"
@@ -124,6 +125,10 @@ Engine::Req *Engine::popHead() {
 
 Engine::Req *Engine::takeFirst(bool WantLarge) {
   for (auto It = Ready.begin(); It != Ready.end(); ++It) {
+    // Compound jobs need both devices at once; they only ever start from
+    // the queue head (startDag), never as single-device picks.
+    if ((*It)->T->Dag)
+      continue;
     if ((*It)->Large == WantLarge) {
       if (race::Analyzer::enabled())
         race::Analyzer::instance().sharedWrite(ReadyObj, "takeFirst");
@@ -136,6 +141,10 @@ Engine::Req *Engine::takeFirst(bool WantLarge) {
   return nullptr;
 }
 
+bool Engine::headIsDag() const {
+  return !Ready.empty() && Ready.front()->T->Dag != nullptr;
+}
+
 void Engine::dispatch() {
   FCL_PROF_SCOPE("serve.dispatch");
   race::Section RaceS(RaceSec);
@@ -144,9 +153,14 @@ void Engine::dispatch() {
     // Status quo: the head-of-line job gets the whole pair, strictly FIFO.
     if (!GpuJob && !CpuJob)
       if (Req *R = popHead())
-        startCoop(R);
+        R->T->Dag ? startDag(R) : startCoop(R);
     break;
   case Policy::DeviceAffine:
+    // A compound head job claims the whole pair when it is free; the DAG
+    // executor does its own per-node placement, so affinity classes do not
+    // apply to it.
+    if (!GpuJob && !CpuJob && headIsDag())
+      startDag(popHead());
     // Strict pinning: large jobs queue for the GPU, small jobs for the
     // CPU; neither class can use the other device even when it idles.
     if (!GpuJob)
@@ -157,10 +171,13 @@ void Engine::dispatch() {
         startSingle(R, /*OnGpu=*/false, /*Backfill=*/false);
     break;
   case Policy::FluidicCorun:
-    // The head job runs cooperatively on the pair; while its CPU side is
-    // idle (between subkernel chunks, or before the version gate opens),
-    // whole small jobs backfill the CPU.
-    if (!GpuJob)
+    // A compound head job waits for the whole pair (CPU backfill below
+    // keeps running meanwhile); otherwise the head job runs cooperatively
+    // on the pair and whole small jobs backfill the CPU while its CPU side
+    // is idle.
+    if (!GpuJob && !CpuJob && headIsDag())
+      startDag(popHead());
+    if (!GpuJob && !headIsDag())
       if (Req *R = popHead())
         startCoop(R);
     if (!CpuJob && !CorunCpuBusy)
@@ -168,6 +185,30 @@ void Engine::dispatch() {
         startSingle(R, /*OnGpu=*/false, /*Backfill=*/true);
     break;
   }
+}
+
+void Engine::startDag(Req *R) {
+  R->StartAt = Ctx->now();
+  R->Placement = "dag";
+  ++DagN;
+  // A compound job owns both devices for its duration; leases are taken
+  // before start() because job setup advances the simulated clock.
+  GpuJob = R;
+  CpuJob = R;
+  GpuLeaseStart = Ctx->now();
+  CpuLeaseStart = Ctx->now();
+  if (race::Analyzer::enabled()) {
+    race::Analyzer::instance().leaseAcquire(
+        GpuLeaseName,
+        formatString("req %llu", static_cast<unsigned long long>(R->Id)));
+    race::Analyzer::instance().leaseAcquire(
+        CpuLeaseName,
+        formatString("req %llu", static_cast<unsigned long long>(R->Id)));
+  }
+  R->Exec = std::make_unique<dag::DagJobExec>(*Ctx, R->T->W, *R->T->Dag,
+                                              Cfg.DagPlace, Cfg.Validate,
+                                              &DagTotals, Cfg.Tracer);
+  R->Exec->start([this, R] { jobDone(R); });
 }
 
 void Engine::startCoop(Req *R) {
@@ -535,6 +576,18 @@ ServeReport Engine::finalize() {
   Rep.CpuJobs = CpuSingleN;
   Rep.BackfillJobs = BackfillN;
   Rep.ChunkYields = ChunkYields;
+  if (DagN) {
+    Rep.DagPlacement = dag::placementName(Cfg.DagPlace);
+    Rep.DagJobs = DagN;
+    Rep.DagNodes = DagTotals.Nodes;
+    Rep.DagGpuNodes = DagTotals.GpuNodes;
+    Rep.DagCpuNodes = DagTotals.CpuNodes;
+    Rep.DagTransfers = DagTotals.Transfers;
+    Rep.DagTransferBytes = DagTotals.TransferBytes;
+    Rep.DagPcieBytes = DagTotals.PcieBytes;
+    Rep.DagTransfersSkipped = DagTotals.TransfersSkipped;
+    Rep.DagBytesSaved = DagTotals.BytesSaved;
+  }
   Rep.SloChecked = Cfg.SloMs > 0;
   Rep.SloMs = Cfg.SloMs;
   Rep.Validated = Cfg.Validate && Cfg.Mode == mcl::ExecMode::Functional;
@@ -560,6 +613,19 @@ ServeReport Engine::finalize() {
   St.add("serve_chunk_yields", ChunkYields);
   St.add("serve_slo_violations", Rep.SloViolations);
   St.add("serve_validation_failures", ValidationFailuresN);
+  // DAG counters only when compound jobs ran: plain mixes keep their
+  // pre-dag report bytes.
+  if (DagN) {
+    St.add("serve_dag_jobs", DagN);
+    St.add("serve_dag_nodes", DagTotals.Nodes);
+    St.add("serve_dag_nodes_gpu", DagTotals.GpuNodes);
+    St.add("serve_dag_nodes_cpu", DagTotals.CpuNodes);
+    St.add("serve_dag_transfers", DagTotals.Transfers);
+    St.add("serve_dag_transfer_bytes", DagTotals.TransferBytes);
+    St.add("serve_dag_pcie_bytes", DagTotals.PcieBytes);
+    St.add("serve_dag_transfers_skipped", DagTotals.TransfersSkipped);
+    St.add("serve_dag_bytes_saved", DagTotals.BytesSaved);
+  }
   // Analysis counters only when something was found: a clean analyzed run
   // must keep the exact bytes of an unanalyzed one.
   if (CheckErrorsN || CheckWarningsN) {

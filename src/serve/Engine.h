@@ -26,6 +26,7 @@
 #ifndef FCL_SERVE_ENGINE_H
 #define FCL_SERVE_ENGINE_H
 
+#include "dag/Residency.h"
 #include "fluidicl/Options.h"
 #include "hw/Machine.h"
 #include "mcl/Context.h"
@@ -61,6 +62,10 @@ struct EngineConfig {
   /// "large" for DeviceAffine pinning and FluidicCorun backfill class.
   uint64_t LargeThreshold = 64;
   MixKind Mix = MixKind::Mixed;
+  /// How compound (DAG) jobs place their nodes on the pair: residency-
+  /// scored (transfer-skipping) or the residency-blind independent-jobs
+  /// baseline. Only DAG-bearing mixes (pipeline) are affected.
+  dag::Placement DagPlace = dag::Placement::Residency;
   fluidicl::Options FclOpts;
   /// fcl::race integration: Warn/Fail enable the happens-before analyzer
   /// around the run and collect its findings into the report (Fail makes
@@ -176,6 +181,11 @@ private:
   void onArrival(Req *R);
   void dispatch();
   void startCoop(Req *R);
+  /// Starts a compound job: takes both device leases and hands the DAG to
+  /// dag::DagJobExec.
+  void startDag(Req *R);
+  /// True when the next queued request is a compound (DAG) job.
+  bool headIsDag() const;
   void startSingle(Req *R, bool OnGpu, bool Backfill);
   void jobDone(Req *R);
   /// fluidicl chunk-yield hook of the active cooperative job (corun only).
@@ -228,6 +238,8 @@ private:
   uint64_t GpuSingleN = 0;
   uint64_t CpuSingleN = 0;
   uint64_t BackfillN = 0;
+  uint64_t DagN = 0;
+  dag::DagStats DagTotals;
   uint64_t ChunkYields = 0;
   uint64_t ValidationFailuresN = 0;
   uint64_t StolenOutN = 0;

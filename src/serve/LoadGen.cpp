@@ -6,6 +6,7 @@
 
 #include "serve/LoadGen.h"
 
+#include "dag/Pipelines.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -76,6 +77,10 @@ bool fcl::serve::parseMix(const std::string &Name, MixKind &Out) {
     Out = MixKind::Large;
     return true;
   }
+  if (Name == "pipeline") {
+    Out = MixKind::Pipeline;
+    return true;
+  }
   return false;
 }
 
@@ -87,6 +92,8 @@ const char *fcl::serve::mixName(MixKind M) {
     return "small";
   case MixKind::Large:
     return "large";
+  case MixKind::Pipeline:
+    return "pipeline";
   }
   return "?";
 }
@@ -115,6 +122,13 @@ std::vector<JobTemplate> fcl::serve::jobTemplates(MixKind Mix) {
       Entry(work::makeSyr2k(192, 192)),
       Entry(work::makeGemm(256, 256, 256)),
   };
+  // Compound jobs: the workload's launches become a dependence graph the
+  // DAG executor runs across both devices at once.
+  auto DagEntry = [&Entry](work::Workload W) {
+    JobTemplate T = Entry(std::move(W));
+    T.Dag = std::make_shared<const dag::Graph>(dag::Graph::fromWorkload(T.W));
+    return T;
+  };
   std::vector<JobTemplate> Out;
   switch (Mix) {
   case MixKind::Small:
@@ -129,6 +143,21 @@ std::vector<JobTemplate> fcl::serve::jobTemplates(MixKind Mix) {
         Out.push_back(T);
     for (const JobTemplate &T : Large)
       Out.push_back(T);
+    return Out;
+  case MixKind::Pipeline:
+    // Multi-kernel DAG shapes (fan-out, chains, fan-in, diamond) plus two
+    // plain single-kernel templates so the cooperative and single-device
+    // paths keep running in the same load.
+    Out = {
+        DagEntry(work::makeBicg(192, 192)),   // Two independent kernels.
+        DagEntry(work::make2mm(64)),          // Chain.
+        DagEntry(work::make3mm(64)),          // Fan-in.
+        DagEntry(work::makeCovar(96, 96)),    // Chain with InOut centering.
+        DagEntry(dag::makeDiamond(64)),       // Fan-out then fan-in.
+        DagEntry(dag::makeFanout(64, 3)),     // One producer, 3 branches.
+        Entry(work::makeGesummv(256)),
+        Entry(work::makeAtax(256, 256)),
+    };
     return Out;
   }
   FCL_FATAL("unknown mix");

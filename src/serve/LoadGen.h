@@ -24,10 +24,13 @@
 #ifndef FCL_SERVE_LOADGEN_H
 #define FCL_SERVE_LOADGEN_H
 
+#include "dag/Graph.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 #include "support/SimTime.h"
 #include "work/Workload.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,8 +54,10 @@ struct ArrivalSpec {
 bool parseArrivalSpec(const std::string &Spec, ArrivalSpec &Out,
                       std::string &Err);
 
-/// Which job sizes a run draws from.
-enum class MixKind { Mixed, Small, Large };
+/// Which job sizes a run draws from. Pipeline adds compound multi-kernel
+/// DAG jobs (BICG, chained GEMMs, COVAR, synthetic diamond/fan-out) to a
+/// base of single-kernel jobs.
+enum class MixKind { Mixed, Small, Large, Pipeline };
 
 bool parseMix(const std::string &Name, MixKind &Out);
 const char *mixName(MixKind M);
@@ -63,6 +68,10 @@ struct JobTemplate {
   /// max over the workload's launches of the flattened work-group count;
   /// policies compare this against their small/large threshold.
   uint64_t MaxGroups = 0;
+  /// Non-null for compound jobs: the precomputed kernel dependence graph,
+  /// executed by dag::DagJobExec over both devices at once. Shared because
+  /// every job instantiated from the template uses the same graph.
+  std::shared_ptr<const dag::Graph> Dag;
 };
 
 /// The fixed template table for \p Mix. Small templates are a few hundred
@@ -78,6 +87,9 @@ public:
 
   /// Next job template for this stream (uniform over the table).
   const JobTemplate &pickTemplate() {
+    // nextBelow(0) would be a modulo-by-zero; fail loud instead of UB.
+    FCL_CHECK(!Templates->empty(),
+              "stream has no job templates to draw from");
     return (*Templates)[R.nextBelow(Templates->size())];
   }
 

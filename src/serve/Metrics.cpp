@@ -109,6 +109,32 @@ std::string ServeReport::toJson() const {
   J += formatString("    \"failures\": %llu\n",
                     static_cast<unsigned long long>(ValidationFailures));
   J += "  },\n";
+  // Compound-job accounting only when DAG jobs ran: plain mixes keep their
+  // pre-dag bytes.
+  if (DagJobs) {
+    J += "  \"dag\": {\n";
+    J += formatString("    \"placement\": \"%s\",\n",
+                      jsonEscape(DagPlacement).c_str());
+    J += formatString("    \"jobs\": %llu,\n",
+                      static_cast<unsigned long long>(DagJobs));
+    J += formatString("    \"nodes\": %llu,\n",
+                      static_cast<unsigned long long>(DagNodes));
+    J += formatString("    \"gpu_nodes\": %llu,\n",
+                      static_cast<unsigned long long>(DagGpuNodes));
+    J += formatString("    \"cpu_nodes\": %llu,\n",
+                      static_cast<unsigned long long>(DagCpuNodes));
+    J += formatString("    \"transfers\": %llu,\n",
+                      static_cast<unsigned long long>(DagTransfers));
+    J += formatString("    \"transfer_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(DagTransferBytes));
+    J += formatString("    \"pcie_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(DagPcieBytes));
+    J += formatString("    \"transfers_skipped\": %llu,\n",
+                      static_cast<unsigned long long>(DagTransfersSkipped));
+    J += formatString("    \"bytes_saved\": %llu\n",
+                      static_cast<unsigned long long>(DagBytesSaved));
+    J += "  },\n";
+  }
   // Analysis verdicts appear only when something was found: a clean
   // --check/--races run must serialize to the same bytes as a plain run.
   if (!CheckDiags.empty()) {
@@ -196,6 +222,22 @@ std::string ServeReport::toText() const {
       static_cast<unsigned long long>(CpuJobs),
       static_cast<unsigned long long>(BackfillJobs),
       static_cast<unsigned long long>(ChunkYields));
+  if (DagJobs) {
+    T += formatString(
+        "dag (%s): jobs=%llu nodes=%llu (gpu %llu / cpu %llu)\n",
+        DagPlacement.c_str(), static_cast<unsigned long long>(DagJobs),
+        static_cast<unsigned long long>(DagNodes),
+        static_cast<unsigned long long>(DagGpuNodes),
+        static_cast<unsigned long long>(DagCpuNodes));
+    T += formatString(
+        "dag transfers: %llu (%llu bytes, %llu pcie), skipped %llu "
+        "(%llu bytes saved)\n",
+        static_cast<unsigned long long>(DagTransfers),
+        static_cast<unsigned long long>(DagTransferBytes),
+        static_cast<unsigned long long>(DagPcieBytes),
+        static_cast<unsigned long long>(DagTransfersSkipped),
+        static_cast<unsigned long long>(DagBytesSaved));
+  }
   if (SloChecked)
     T += formatString("slo: %.3f ms -> %llu violation(s)\n", SloMs,
                       static_cast<unsigned long long>(SloViolations));

@@ -113,6 +113,21 @@ struct ServeReport {
   bool Validated = false;
   uint64_t ValidationFailures = 0;
 
+  // Compound (DAG) job accounting, mirrored from dag::DagStats so this
+  // header does not depend on the dag layer. The JSON emits the "dag"
+  // object only when DAG jobs ran: plain mixes serialize to the exact
+  // bytes they did before the dag subsystem existed.
+  std::string DagPlacement;   // "residency" or "blind"; empty when unused.
+  uint64_t DagJobs = 0;
+  uint64_t DagNodes = 0;
+  uint64_t DagGpuNodes = 0;
+  uint64_t DagCpuNodes = 0;
+  uint64_t DagTransfers = 0;
+  uint64_t DagTransferBytes = 0;
+  uint64_t DagPcieBytes = 0;
+  uint64_t DagTransfersSkipped = 0;
+  uint64_t DagBytesSaved = 0;
+
   // fcl::check / fcl::race outcome (serve --check / --races). The JSON
   // emits the "check"/"races" objects only when diagnostics exist, so a
   // clean analyzed run serializes to the exact bytes of an unanalyzed one

@@ -51,6 +51,10 @@ void Tracer::counter(std::string Track, TimePoint At, double Value) {
 }
 
 void Tracer::mergeFrom(const Tracer &Other, const std::string &Prefix) {
+  // Merging a tracer into itself would iterate Events/Counters while
+  // record()/counter() append to them - iterator invalidation, then an
+  // unbounded loop. No caller can mean it; fail loud.
+  FCL_CHECK(&Other != this, "cannot merge a tracer into itself");
   for (const TraceEvent &E : Other.Events)
     record(Prefix + E.Lane, E.Name, E.Start, E.End, E.Detail);
   for (const CounterSample &C : Other.Counters)

@@ -98,6 +98,35 @@ TEST(LoadGenTest, StreamDrawsAreDeterministicPerSeed) {
   EXPECT_TRUE(StreamsDiffer);
 }
 
+TEST(LoadGenTest, PipelineMixCarriesDagTemplates) {
+  std::vector<JobTemplate> Templs = jobTemplates(MixKind::Pipeline);
+  ASSERT_FALSE(Templs.empty());
+  bool AnyDag = false, AnyPlain = false;
+  for (const JobTemplate &T : Templs) {
+    if (T.Dag) {
+      AnyDag = true;
+      // The precomputed graph must describe exactly this template.
+      EXPECT_EQ(T.Dag->size(), T.W.Calls.size());
+      EXPECT_GE(T.Dag->size(), 2u);
+    } else {
+      AnyPlain = true;
+    }
+  }
+  EXPECT_TRUE(AnyDag);
+  EXPECT_TRUE(AnyPlain);
+  // The non-pipeline mixes never carry graphs.
+  for (const JobTemplate &T : jobTemplates(MixKind::Mixed))
+    EXPECT_EQ(T.Dag, nullptr);
+}
+
+TEST(LoadGenDeathTest, PickTemplateWithNoTemplatesFailsLoud) {
+  // nextBelow(0) would be modulo-by-zero UB; the generator must abort with
+  // a diagnostic instead of returning garbage.
+  std::vector<JobTemplate> Empty;
+  StreamGen G(1, 0, Empty);
+  EXPECT_DEATH((void)G.pickTemplate(), "no job templates");
+}
+
 TEST(MetricsTest, LatencySummaryNearestRank) {
   std::vector<double> Vals;
   for (int I = 100; I >= 1; --I)

@@ -53,6 +53,37 @@ TEST(TracerDeathTest, RejectsBackwardsSlice) {
   EXPECT_DEATH(T.record("a", "x", TimePoint(10), TimePoint(5)), "ends");
 }
 
+TEST(TracerTest, MergeFromEmptySourceIsANoOp) {
+  Tracer Dst, Src;
+  Dst.record("a", "x", TimePoint(0), TimePoint(1));
+  Dst.mergeFrom(Src, "w0/");
+  ASSERT_EQ(Dst.size(), 1u);
+  EXPECT_EQ(Dst.events()[0].Lane, "a");
+  EXPECT_TRUE(Dst.trackSamples("w0/t").empty());
+}
+
+TEST(TracerTest, MergeFromPrefixesLanesAndTracks) {
+  Tracer Dst, Src;
+  Src.record("GPU", "k", TimePoint(0), TimePoint(5), "d");
+  Src.counter("load", TimePoint(2), 3.5);
+  Dst.mergeFrom(Src, "w1/");
+  ASSERT_EQ(Dst.laneEvents("w1/GPU").size(), 1u);
+  EXPECT_EQ(Dst.laneEvents("w1/GPU")[0].Detail, "d");
+  ASSERT_EQ(Dst.trackSamples("w1/load").size(), 1u);
+  EXPECT_DOUBLE_EQ(Dst.trackSamples("w1/load")[0].Value, 3.5);
+  // Merging again under the same prefix appends rather than replacing -
+  // duplicate lane names stay one lane with more events.
+  Dst.mergeFrom(Src, "w1/");
+  EXPECT_EQ(Dst.laneEvents("w1/GPU").size(), 2u);
+  EXPECT_EQ(Dst.trackSamples("w1/load").size(), 2u);
+}
+
+TEST(TracerDeathTest, MergeIntoSelfIsRejected) {
+  Tracer T;
+  T.record("a", "x", TimePoint(0), TimePoint(1));
+  EXPECT_DEATH(T.mergeFrom(T, "w0/"), "itself");
+}
+
 TEST(TracerTest, ChromeTraceContainsLanesAndEvents) {
   Tracer T;
   T.record("GPU", "kernel", TimePoint(1000), TimePoint(3000), "q=app");

@@ -1,0 +1,56 @@
+# Determinism gate for the compound (DAG) pipeline mix: two
+# --mix=pipeline runs with identical seed and configuration must produce
+# byte-identical report JSON, and a third run with the whole analysis
+# stack armed (--check=fail --races=fail) must still exit 0 AND produce
+# the very same bytes - cross-queue DAG scheduling, residency tracking
+# and per-node transfer elision must all stay deterministic and
+# analyzer-clean. Invoked by ctest as
+#
+#   cmake -DTOOL=<fluidicl_serve> -DOUT_DIR=<scratch dir> -P dag_determinism.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "dag_determinism.cmake needs -DTOOL= and -DOUT_DIR=")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ARGS --mix=pipeline --streams=8 --policy=corun --arrival=poisson:300
+         --duration=0.1 --seed=11 --slo-ms=0)
+
+foreach(RUN a b)
+  execute_process(
+    COMMAND "${TOOL}" ${ARGS} "--stats-json=${OUT_DIR}/dag-${RUN}.json"
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "fluidicl_serve pipeline run '${RUN}' exited with ${RC}")
+  endif()
+endforeach()
+
+# Run c: protocol checking and the happens-before race analyzer armed at
+# their failing policy over the same DAG workload, with functional kernel
+# execution. Exit 0 proves the two-queue DAG executor is clean; byte
+# equality with run a proves the analyzers never touch the report.
+execute_process(
+  COMMAND "${TOOL}" ${ARGS} --functional --check=fail --races=fail
+          "--stats-json=${OUT_DIR}/dag-c.json"
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+          "fluidicl_serve --mix=pipeline --check=fail --races=fail exited "
+          "with ${RC} (protocol or race findings in the DAG executor)")
+endif()
+
+foreach(RUN b c)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT_DIR}/dag-a.json" "${OUT_DIR}/dag-${RUN}.json"
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "same-seed pipeline runs produced different JSON "
+            "(${OUT_DIR}/dag-a.json vs ${OUT_DIR}/dag-${RUN}.json)")
+  endif()
+endforeach()
+message(STATUS "same-seed DAG pipeline reports are byte-identical "
+               "(analyzers on and off)")

@@ -252,6 +252,62 @@ void deriveServeMixed(prof::BenchReport &Rep, double WallSec) {
 }
 
 //===----------------------------------------------------------------------===//
+// Scenario: dag_pipeline - compound multi-kernel jobs under corun load.
+//===----------------------------------------------------------------------===//
+
+double runDagPipeline(const SuiteParams &P, prof::BenchReport &Rep) {
+  serve::EngineConfig Cfg;
+  Cfg.P = serve::Policy::FluidicCorun;
+  Cfg.Mix = serve::MixKind::Pipeline;
+  Cfg.Streams = 6;
+  Cfg.Seed = 42;
+  std::string Err;
+  FCL_CHECK(serve::parseArrivalSpec("poisson:250", Cfg.Arrival, Err),
+            "bad arrival spec");
+  Cfg.Horizon = Duration::milliseconds(P.Suite == "smoke" ? 10
+                                       : P.Suite == "ci"  ? 40
+                                                          : 150);
+  const int Iters = P.Suite == "smoke" ? 1 : P.Suite == "ci" ? 60 : 120;
+  int64_t Start = prof::wallNowNs();
+  uint64_t Completed = 0, Submitted = 0, Nodes = 0, Transfers = 0;
+  double MakespanMs = 0;
+  std::string Placement;
+  for (int I = 0; I < Iters; ++I) {
+    serve::Engine Engine(Cfg);
+    serve::ServeReport Report = Engine.run();
+    Completed += Report.Completed;
+    Submitted += Report.Submitted;
+    Nodes += Report.DagNodes;
+    Transfers += Report.DagTransfers;
+    MakespanMs += Report.MakespanMs;
+    Placement = Report.DagPlacement;
+  }
+  double Wall = secondsSince(Start);
+  Rep.Metrics["serve_completed"] = static_cast<double>(Completed);
+  Rep.Metrics["serve_submitted"] = static_cast<double>(Submitted);
+  Rep.Metrics["serve_sim_makespan_ms"] = MakespanMs;
+  Rep.Metrics["dag_nodes_executed"] = static_cast<double>(Nodes);
+  Rep.Metrics["dag_transfers"] = static_cast<double>(Transfers);
+  Rep.Meta["policy"] = "corun";
+  Rep.Meta["mix"] = "pipeline";
+  Rep.Meta["dag_placement"] = Placement;
+  Rep.Meta["iterations"] = std::to_string(Iters);
+  return Wall;
+}
+
+void deriveDagPipeline(prof::BenchReport &Rep, double WallSec) {
+  if (WallSec > 0) {
+    Rep.Metrics["serve_requests_per_sec"] =
+        Rep.Metrics["serve_completed"] / WallSec;
+    Rep.Metrics["dag_nodes_per_sec"] =
+        Rep.Metrics["dag_nodes_executed"] / WallSec;
+  }
+  double SimSec = Rep.Metrics["serve_sim_makespan_ms"] * 1e-3;
+  if (SimSec > 0)
+    Rep.Metrics["wall_sec_per_sim_sec"] = WallSec / SimSec;
+}
+
+//===----------------------------------------------------------------------===//
 // Scenario: cluster_scale - the sharded tier at 1 and 4 worker pairs.
 //===----------------------------------------------------------------------===//
 
@@ -368,7 +424,7 @@ int main(int Argc, char **Argv) {
   Args.addOption("top", "profile phases attached to each report", "12");
   Args.addOption("scenario",
                  "run only this scenario (sim_events|runtime_sweep|"
-                 "fig13_functional|serve_mixed|cluster_scale)",
+                 "fig13_functional|serve_mixed|dag_pipeline|cluster_scale)",
                  "");
   if (!Args.parse(Argc - 1, Argv + 1)) {
     std::fprintf(stderr, "error: %s\n%s", Args.error().c_str(),
@@ -397,6 +453,7 @@ int main(int Argc, char **Argv) {
       {"runtime_sweep", runRuntimeSweep, deriveRuntimeSweep},
       {"fig13_functional", runFig13Functional, deriveFig13Functional},
       {"serve_mixed", runServeMixed, deriveServeMixed},
+      {"dag_pipeline", runDagPipeline, deriveDagPipeline},
       {"cluster_scale", runClusterScale, deriveClusterScale},
   };
 

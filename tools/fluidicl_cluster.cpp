@@ -69,7 +69,11 @@ int main(int Argc, char **Argv) {
   Args.addOption("queue-depth", "per-worker admission queue bound", "64");
   Args.addOption("threshold",
                  "work-group count at/above which a job is 'large'", "64");
-  Args.addOption("mix", "job mix: mixed|small|large", "mixed");
+  Args.addOption("mix", "job mix: mixed|small|large|pipeline", "mixed");
+  Args.addOption("dag-placement",
+                 "per-worker compound (DAG) node placement: "
+                 "residency|blind (pipeline mix)",
+                 "residency");
   Args.addOption("machine",
                  std::string("simulated machine per worker: ") +
                      hw::machineNames(),
@@ -159,8 +163,15 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   if (!serve::parseMix(Args.str("mix"), W.Mix)) {
-    std::fprintf(stderr, "error: unknown --mix '%s' (mixed|small|large)\n",
+    std::fprintf(stderr,
+                 "error: unknown --mix '%s' (mixed|small|large|pipeline)\n",
                  Args.str("mix").c_str());
+    return 1;
+  }
+  if (!dag::parsePlacement(Args.str("dag-placement"), W.DagPlace)) {
+    std::fprintf(stderr,
+                 "error: unknown --dag-placement '%s' (residency|blind)\n",
+                 Args.str("dag-placement").c_str());
     return 1;
   }
   if (Args.flag("validate") && !Args.flag("functional")) {

@@ -58,7 +58,11 @@ int main(int Argc, char **Argv) {
                  "64");
   Args.addOption("threshold",
                  "work-group count at/above which a job is 'large'", "64");
-  Args.addOption("mix", "job mix: mixed|small|large", "mixed");
+  Args.addOption("mix", "job mix: mixed|small|large|pipeline", "mixed");
+  Args.addOption("placement",
+                 "compound (DAG) node placement: residency|blind "
+                 "(pipeline mix)",
+                 "residency");
   Args.addOption("machine",
                  std::string("simulated machine: ") + hw::machineNames(),
                  "paper");
@@ -78,6 +82,8 @@ int main(int Argc, char **Argv) {
                  "off|warn|fail (fail -> exit 5 on findings; never "
                  "perturbs the report bytes)",
                  "off");
+  Args.addFlag("dag-stats",
+               "print the DAG shape table of the chosen mix and exit");
   Args.addFlag("functional", "execute kernels for real");
   Args.addFlag("prof",
                "collect a wall-clock host profile and print the top "
@@ -119,9 +125,34 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   if (!serve::parseMix(Args.str("mix"), Cfg.Mix)) {
-    std::fprintf(stderr, "error: unknown --mix '%s' (mixed|small|large)\n",
+    std::fprintf(stderr,
+                 "error: unknown --mix '%s' (mixed|small|large|pipeline)\n",
                  Args.str("mix").c_str());
     return 1;
+  }
+  if (!dag::parsePlacement(Args.str("placement"), Cfg.DagPlace)) {
+    std::fprintf(stderr,
+                 "error: unknown --placement '%s' (residency|blind)\n",
+                 Args.str("placement").c_str());
+    return 1;
+  }
+  if (Args.flag("dag-stats")) {
+    // Deterministic shape table of the mix's templates; compound ones get
+    // their graph metrics, plain ones a "-" row.
+    std::printf("%-14s %-8s %5s %5s %5s %9s\n", "template", "shape", "nodes",
+                "edges", "width", "groups");
+    for (const serve::JobTemplate &T : serve::jobTemplates(Cfg.Mix)) {
+      if (T.Dag)
+        std::printf("%-14s %-8s %5zu %5zu %5zu %9llu\n", T.W.Name.c_str(),
+                    T.Dag->shapeName(), T.Dag->size(), T.Dag->numEdges(),
+                    T.Dag->maxParallelism(),
+                    static_cast<unsigned long long>(T.MaxGroups));
+      else
+        std::printf("%-14s %-8s %5zu %5s %5s %9llu\n", T.W.Name.c_str(), "-",
+                    T.W.Calls.size(), "-", "-",
+                    static_cast<unsigned long long>(T.MaxGroups));
+    }
+    return 0;
   }
   if (Args.flag("validate") && !Args.flag("functional")) {
     std::fprintf(stderr, "error: --validate requires --functional\n");

@@ -1,0 +1,54 @@
+# Error-path gate for policy-ish enum options: the serving tools must
+# reject an unknown --policy / --placement / --dag-placement value with a
+# single-line stderr diagnostic naming the bad value and the accepted
+# set, and a non-zero (usage) exit - not a crash, not a silent fallback
+# to the default. Invoked by ctest as
+#
+#   cmake -DSERVE=<fluidicl_serve> -DCLUSTER=<fluidicl_cluster>
+#         -P policy_errors.cmake
+
+foreach(V SERVE CLUSTER)
+  if(NOT DEFINED ${V})
+    message(FATAL_ERROR "policy_errors.cmake needs -D${V}=")
+  endif()
+endforeach()
+
+# expect_policy_error(<tool> <diagnostic regex> <args...>): the tool must
+# exit non-zero and print exactly one stderr line matching the regex.
+function(expect_policy_error TOOL PATTERN)
+  execute_process(
+    COMMAND "${TOOL}" ${ARGN}
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET
+    ERROR_VARIABLE ERR)
+  get_filename_component(NAME "${TOOL}" NAME)
+  if(RC EQUAL 0)
+    message(FATAL_ERROR "${NAME} ${ARGN} succeeded (exit 0)")
+  endif()
+  if(NOT ERR MATCHES "${PATTERN}")
+    message(FATAL_ERROR
+            "${NAME} ${ARGN} stderr lacks the diagnostic: ${ERR}")
+  endif()
+  # One line only: a trailing newline is fine, embedded ones are not.
+  string(REGEX REPLACE "\n$" "" ERR_BODY "${ERR}")
+  if(ERR_BODY MATCHES "\n")
+    message(FATAL_ERROR
+            "${NAME} ${ARGN} printed more than one stderr line: ${ERR}")
+  endif()
+endfunction()
+
+set(SHORT --streams=2 --duration=0.01)
+
+expect_policy_error("${SERVE}" "unknown --policy 'nosuch'"
+                    ${SHORT} --policy=nosuch)
+expect_policy_error("${SERVE}" "unknown --placement 'nosuch'"
+                    ${SHORT} --placement=nosuch)
+expect_policy_error("${CLUSTER}" "unknown --policy 'nosuch'"
+                    --workers=2 ${SHORT} --policy=nosuch)
+expect_policy_error("${CLUSTER}" "unknown --placement 'nosuch'"
+                    --workers=2 ${SHORT} --placement=nosuch)
+expect_policy_error("${CLUSTER}" "unknown --dag-placement 'nosuch'"
+                    --workers=2 ${SHORT} --dag-placement=nosuch)
+
+message(STATUS
+        "both serving tools reject unknown policy/placement values cleanly")
